@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: virtual priority with PrioPlus in ~40 lines.
+
+Two flows share ONE physical switch queue on a 10 Gbps bottleneck.  A large
+low-priority transfer starts first; a small high-priority transfer arrives
+mid-way.  With PrioPlus the high-priority flow preempts the bandwidth almost
+as if it had its own hardware priority queue — and the low-priority flow
+reclaims the link the moment it finishes.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ChannelConfig,
+    Flow,
+    FlowSender,
+    PrioPlusCC,
+    Simulator,
+    StartTier,
+    Swift,
+    SwiftParams,
+    star,
+)
+
+RATE = 10e9  # 10 Gbps bottleneck
+
+
+def prioplus(channels: ChannelConfig, vpriority: int, tier: str) -> PrioPlusCC:
+    """PrioPlus wraps a delay-based CC; here: Swift without target scaling."""
+    return PrioPlusCC(
+        Swift(SwiftParams(target_scaling=False)), channels, vpriority=vpriority, tier=tier
+    )
+
+
+def main() -> None:
+    sim = Simulator(seed=1)
+    net, senders, receiver = star(sim, n_senders=2, rate_bps=RATE, link_delay_ns=1500)
+    channels = ChannelConfig(n_priorities=8)  # the paper's 4 us channels
+
+    low = Flow(1, senders[0], receiver, size_bytes=2_000_000, vpriority=1, start_ns=0)
+    high = Flow(2, senders[1], receiver, size_bytes=500_000, vpriority=6, start_ns=300_000)
+
+    FlowSender(sim, net, low, prioplus(channels, 1, StartTier.LOW))
+    s_high = FlowSender(sim, net, high, prioplus(channels, 6, StartTier.HIGH))
+
+    sim.run(until=50_000_000)
+
+    ideal_high = high.size_bytes * 8e9 / RATE + s_high.base_rtt
+    print(f"high-priority flow: {high.fct_ns() / 1e3:8.1f} us "
+          f"(ideal {ideal_high / 1e3:.1f} us -> {high.fct_ns() / ideal_high:.2f}x)")
+    print(f"low-priority flow:  {low.fct_ns() / 1e3:8.1f} us "
+          f"(yielded {low.tag or ''}{500_000 * 8e9 / RATE / 1e3:.0f} us of line time to the high flow)")
+    print(f"probes sent by the low flow while yielding: {low.probes_sent}")
+    assert high.fct_ns() < 1.5 * ideal_high, "high priority should be near-ideal"
+
+
+if __name__ == "__main__":
+    main()

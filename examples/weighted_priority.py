@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Weighted virtual priority (§7 future work), prototyped.
+
+Strict PrioPlus gives a preempted flow *zero* bandwidth.  The weighted
+variant guarantees it a configurable residual share instead — useful when
+"low priority" means "less", not "nothing".  This demo sweeps the weight
+and shows the trade: the high-priority flow's FCT grows slightly as the
+low-priority floor rises, while the low flow's FCT improves.
+
+Run:  python examples/weighted_priority.py
+"""
+
+from repro import ChannelConfig, Flow, FlowSender, Simulator, StartTier, Swift, SwiftParams, star
+from repro.core import WeightedPrioPlusCC, aggregate_floor_share
+from repro.experiments.report import print_table
+
+RATE = 10e9
+
+
+def run(weight: float):
+    sim = Simulator(seed=1)
+    net, senders, recv = star(sim, 2, rate_bps=RATE, link_delay_ns=1000)
+    ch = ChannelConfig(n_priorities=8)
+    lo = Flow(1, senders[0], recv, 3_000_000, vpriority=1, start_ns=0)
+    hi = Flow(2, senders[1], recv, 2_000_000, vpriority=5, start_ns=200_000)
+    FlowSender(sim, net, lo, WeightedPrioPlusCC(
+        Swift(SwiftParams(target_scaling=False)), ch, 1, weight=weight, tier=StartTier.LOW))
+    FlowSender(sim, net, hi, WeightedPrioPlusCC(
+        Swift(SwiftParams(target_scaling=False)), ch, 5, weight=weight, tier=StartTier.HIGH))
+    sim.run(until=100_000_000)
+    return hi.fct_ns() / 1e3, lo.fct_ns() / 1e3
+
+
+def main() -> None:
+    rows = []
+    for weight in (0.0, 0.05, 0.1, 0.2, 0.4):
+        hi_fct, lo_fct = run(weight)
+        rows.append([weight, round(hi_fct, 1), round(lo_fct, 1)])
+    print_table(
+        ["weight", "high-prio FCT (us)", "low-prio FCT (us)"],
+        rows,
+        title="Weighted virtual priority: residual share vs strictness",
+    )
+    print("\npriority-inversion check (the paper's §7 concern): with weight 0.1")
+    print("and 50 preempted flows against an estimate of 10, the lows could")
+    print(f"hold {aggregate_floor_share(0.1, 50, 10.0):.0%} of the line — operators must size")
+    print("weights against the cardinality estimate.")
+
+
+if __name__ == "__main__":
+    main()

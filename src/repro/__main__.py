@@ -1,0 +1,129 @@
+"""Command-line entry point: ``python -m repro <experiment> [options]``.
+
+Lists and runs individual paper experiments without writing a script:
+
+    python -m repro --list
+    python -m repro fig8
+    python -m repro fig10c
+    python -m repro table2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable, Dict
+
+from .experiments.ablations import (
+    run_cardinality_ablation,
+    run_collision_avoidance_ablation,
+    run_filter_ablation,
+)
+from .experiments.common import Mode
+from .experiments.ecn_priority import run_ecn_priority
+from .experiments.fig3_micro import run_fig3a, run_fig3b, run_fig3c, run_fig3d
+from .experiments.fig6_dualrtt import run_fig6
+from .experiments.fig8_testbed import run_fig8
+from .experiments.fig9_fluct import run_fig9
+from .experiments.fig10_micro import run_fig10a, run_fig10b, run_fig10c, run_fig10d
+from .experiments.fig12_coflow import ci_config, run_fig12ab, run_fig17, run_fig18
+from .experiments.fig13_noncongestive import run_fig13_point
+from .experiments.mltrain import run_mltrain_comparison
+from .experiments.table2_validation import run_table2_validation
+
+
+def _fig8_both() -> dict:
+    return {
+        "prioplus": run_fig8(Mode.PRIOPLUS, stagger_ns=2_000_000),
+        "swift_targets": run_fig8(Mode.SWIFT_TARGETS, stagger_ns=2_000_000),
+    }
+
+
+def _fig9_both() -> dict:
+    return {
+        "prioplus": run_fig9(Mode.PRIOPLUS),
+        "swift_targets": run_fig9(Mode.SWIFT_TARGETS),
+    }
+
+
+def _fig10c_both() -> dict:
+    return {
+        "dual_rtt": run_fig10c(True),
+        "every_rtt": run_fig10c(False),
+    }
+
+
+def _ablations() -> dict:
+    return {
+        "collision_avoidance": [run_collision_avoidance_ablation(v) for v in (True, False)],
+        "filter": [run_filter_ablation(v) for v in (2, 1)],
+        "cardinality": [run_cardinality_ablation(v) for v in (True, False)],
+    }
+
+
+def _ecn() -> dict:
+    return {
+        "uniform": run_ecn_priority(False),
+        "per_priority": run_ecn_priority(True),
+    }
+
+
+EXPERIMENTS: Dict[str, Callable[[], object]] = {
+    "fig3a": run_fig3a,
+    "fig3b": run_fig3b,
+    "fig3c": run_fig3c,
+    "fig3d": run_fig3d,
+    "fig6": run_fig6,
+    "fig8": _fig8_both,
+    "fig9": _fig9_both,
+    "fig10a": run_fig10a,
+    "fig10b": run_fig10b,
+    "fig10c": _fig10c_both,
+    "fig10d": run_fig10d,
+    "fig12": lambda: run_fig12ab(cfg=ci_config(load=0.7, duration_ns=1_500_000)),
+    "fig13": lambda: {"gap@6us": run_fig13_point(10.0, 6.0, stagger_ns=500_000),
+                      "gap@40us": run_fig13_point(10.0, 40.0, stagger_ns=500_000)},
+    "fig12c": run_mltrain_comparison,
+    "fig17": lambda: run_fig17(ci_config(load=0.7, duration_ns=1_200_000, lossy=True)),
+    "fig18": lambda: run_fig18(ci_config(load=0.7, duration_ns=1_200_000)),
+    "table2": run_table2_validation,
+    "ablations": _ablations,
+    "ecn-priority": _ecn,
+}
+
+
+def _jsonable(obj):
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, (int, float, str, bool)) or obj is None:
+        return obj
+    return repr(obj)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run individual PrioPlus-paper experiments at benchmark scale.",
+    )
+    parser.add_argument("experiment", nargs="?", help="experiment name (see --list)")
+    parser.add_argument("--list", action="store_true", help="list available experiments")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiment:
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+    runner = EXPERIMENTS.get(args.experiment)
+    if runner is None:
+        print(f"unknown experiment {args.experiment!r}; use --list", file=sys.stderr)
+        return 2
+    result = runner()
+    print(json.dumps(_jsonable(result), indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""Statistics and closed-form analysis used by the experiment harness."""
+
+from .fct import SIZE_CLASSES, FctStats, group_by, percentile, size_class, speedup, summarize
+from .export import flatten_result, write_rows_csv, write_series_csv
+from .convergence import jain_index, stability, time_to_share, utilization
+from .switch_chips import SWITCH_CHIPS, buffer_bandwidth_ratios
+from .trace import PfcLogger, PortTracer, occupancy_stats
+from .theory import (
+    channel_width_ns,
+    linear_start_is_optimal,
+    potential_backlog,
+    start_strategy_costs,
+    swift_fluctuation_ns,
+)
+
+__all__ = [
+    "FctStats",
+    "summarize",
+    "group_by",
+    "percentile",
+    "speedup",
+    "SIZE_CLASSES",
+    "size_class",
+    "SWITCH_CHIPS",
+    "buffer_bandwidth_ratios",
+    "write_series_csv",
+    "write_rows_csv",
+    "flatten_result",
+    "jain_index",
+    "time_to_share",
+    "utilization",
+    "stability",
+    "PortTracer",
+    "PfcLogger",
+    "occupancy_stats",
+    "start_strategy_costs",
+    "potential_backlog",
+    "linear_start_is_optimal",
+    "swift_fluctuation_ns",
+    "channel_width_ns",
+]

@@ -1,0 +1,102 @@
+"""CSV export of experiment data — plot the figures with your own tools.
+
+Experiment runners return dicts and samplers hold ``(time, value)`` series;
+these helpers write them as tidy CSV so the paper's figures can be drawn
+with matplotlib/gnuplot/R outside this repo (no plotting dependency here).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple, Union
+
+__all__ = ["write_series_csv", "write_rows_csv", "flatten_result"]
+
+PathLike = Union[str, Path]
+
+
+def write_series_csv(
+    series_by_key: Mapping[object, Sequence[Tuple[int, float]]],
+    path: PathLike,
+    time_unit_ns: float = 1_000.0,
+    value_name: str = "value",
+) -> int:
+    """Write ``{key: [(time_ns, value), ...]}`` (RateSampler/DelaySampler
+    shape) as long-format CSV: ``key,time,<value_name>``.
+
+    ``time_unit_ns`` scales the time column (default: microseconds).
+    Returns the number of data rows written.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    rows = 0
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["key", f"time_{_unit_suffix(time_unit_ns)}", value_name])
+        for key in sorted(series_by_key, key=str):
+            for t, v in series_by_key[key]:
+                writer.writerow([key, t / time_unit_ns, v])
+                rows += 1
+    return rows
+
+
+def write_rows_csv(
+    rows: Iterable[Mapping[str, object]],
+    path: PathLike,
+) -> int:
+    """Write a list of flat dicts (experiment results) as CSV.
+
+    The header is the union of keys, in first-seen order; missing cells are
+    left empty.  Returns the number of data rows written.
+    """
+    rows = list(rows)
+    if not rows:
+        raise ValueError("nothing to export")
+    header: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in header:
+                header.append(key)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=header)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return len(rows)
+
+
+def flatten_result(result: Mapping[str, object], prefix: str = "") -> Dict[str, object]:
+    """Flatten nested experiment-result dicts into dotted-key scalars.
+
+    Lists/tuples become ``key.0``, ``key.1``, ...; everything non-scalar is
+    stringified.  Useful before :func:`write_rows_csv`.
+    """
+    flat: Dict[str, object] = {}
+    for key, value in result.items():
+        name = f"{prefix}{key}"
+        if isinstance(value, Mapping):
+            flat.update(flatten_result(value, prefix=f"{name}."))
+        elif isinstance(value, (list, tuple)):
+            for i, item in enumerate(value):
+                if isinstance(item, Mapping):
+                    flat.update(flatten_result(item, prefix=f"{name}.{i}."))
+                else:
+                    flat[f"{name}.{i}"] = _scalar(item)
+        else:
+            flat[name] = _scalar(value)
+    return flat
+
+
+def _scalar(value: object) -> object:
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def _unit_suffix(time_unit_ns: float) -> str:
+    return {1.0: "ns", 1_000.0: "us", 1_000_000.0: "ms", 1_000_000_000.0: "s"}.get(
+        time_unit_ns, f"per_{time_unit_ns:g}ns"
+    )

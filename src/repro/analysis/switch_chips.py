@@ -1,0 +1,28 @@
+"""Figure 2: buffer-to-bandwidth ratios of commodity switch chips.
+
+Static data reproducing the declining-ratio trend the paper uses to motivate
+virtual priority (buffer growth lags bandwidth growth, squeezing PFC
+headroom).  Values are public datasheet figures (MB of packet buffer,
+Tbps of switching capacity).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+__all__ = ["SWITCH_CHIPS", "buffer_bandwidth_ratios"]
+
+#: (chip, year, buffer_MB, bandwidth_Tbps)
+SWITCH_CHIPS: List[Tuple[str, int, float, float]] = [
+    ("Trident+", 2010, 9.0, 0.64),
+    ("Trident2", 2013, 12.0, 1.28),
+    ("Tomahawk", 2014, 16.0, 3.2),
+    ("Tomahawk2", 2016, 42.0, 6.4),
+    ("Tomahawk3", 2018, 64.0, 12.8),
+    ("Tomahawk4", 2020, 113.0, 25.6),
+]
+
+
+def buffer_bandwidth_ratios() -> List[Tuple[str, int, float]]:
+    """(chip, year, MB-per-Tbps), newest chips have the smallest ratio."""
+    return [(name, year, buf / bw) for name, year, buf, bw in SWITCH_CHIPS]

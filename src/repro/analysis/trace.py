@@ -1,0 +1,111 @@
+"""Port-level telemetry: queue-occupancy traces and PFC event logs.
+
+The figure experiments mostly sample sender-side delay; debugging switch
+behaviour needs the other side — what the queues actually did.  A
+:class:`PortTracer` samples one port's per-queue byte occupancy on a fixed
+grid; :class:`PfcLogger` timestamps every PAUSE/RESUME a switch emits.
+Both are pure observers (no effect on the simulation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..sim.engine import Simulator
+from ..sim.port import Port
+from ..sim.switch import Switch
+
+__all__ = ["PortTracer", "PfcLogger", "occupancy_stats"]
+
+
+class PortTracer:
+    """Samples a port's total and per-queue occupancy every ``interval_ns``."""
+
+    def __init__(self, sim: Simulator, port: Port, interval_ns: int = 10_000):
+        if interval_ns <= 0:
+            raise ValueError("interval must be positive")
+        self.sim = sim
+        self.port = port
+        self.interval_ns = interval_ns
+        #: list of (time_ns, total_bytes, tuple(per-queue bytes))
+        self.samples: List[Tuple[int, int, Tuple[int, ...]]] = []
+        sim.after(interval_ns, self._tick)
+
+    def _tick(self) -> None:
+        self.samples.append((self.sim.now, self.port.total_bytes, tuple(self.port.qbytes)))
+        self.sim.after(self.interval_ns, self._tick)
+
+    def peak_bytes(self, t_from: int = 0, t_to: int = 1 << 62) -> int:
+        vals = [total for (t, total, _) in self.samples if t_from <= t <= t_to]
+        return max(vals) if vals else 0
+
+    def mean_bytes(self, t_from: int = 0, t_to: int = 1 << 62) -> float:
+        vals = [total for (t, total, _) in self.samples if t_from <= t <= t_to]
+        return sum(vals) / len(vals) if vals else 0.0
+
+    def occupancy_series(self, queue: Optional[int] = None) -> List[Tuple[int, int]]:
+        if queue is None:
+            return [(t, total) for (t, total, _) in self.samples]
+        return [(t, per[queue]) for (t, _, per) in self.samples]
+
+
+class PfcLogger:
+    """Records every PFC PAUSE/RESUME decision a switch makes.
+
+    Install *before* traffic flows: the hook wraps the signal-sender factory,
+    and PFC state machines created earlier keep their unwrapped senders.
+    """
+
+    def __init__(self, sim: Simulator, switch: Switch):
+        self.sim = sim
+        self.switch = switch
+        #: list of (time_ns, ingress_idx, priority, paused: bool)
+        self.events: List[Tuple[int, int, int, bool]] = []
+        self._install()
+
+    def _install(self) -> None:
+        logger = self
+        switch = self.switch
+        original = switch._make_signal_sender
+
+        def make_signal_sender(in_idx: int, prio: int):
+            inner = original(in_idx, prio)
+
+            def send(paused: bool) -> None:
+                logger.events.append((logger.sim.now, in_idx, prio, paused))
+                inner(paused)
+
+            return send
+
+        switch._make_signal_sender = make_signal_sender
+
+    def pause_count(self) -> int:
+        return sum(1 for *_rest, paused in self.events if paused)
+
+    def resume_count(self) -> int:
+        return sum(1 for *_rest, paused in self.events if not paused)
+
+    def paused_duration_ns(self, horizon_ns: int) -> int:
+        """Total (ingress, priority)-paused time up to ``horizon_ns``."""
+        open_since: Dict[Tuple[int, int], int] = {}
+        total = 0
+        for t, in_idx, prio, paused in sorted(self.events):
+            key = (in_idx, prio)
+            if paused:
+                open_since.setdefault(key, t)
+            elif key in open_since:
+                total += t - open_since.pop(key)
+        for t0 in open_since.values():
+            total += max(0, horizon_ns - t0)
+        return total
+
+
+def occupancy_stats(tracer: PortTracer, bdp_bytes: float) -> Dict[str, float]:
+    """Peak/mean occupancy normalised by a BDP, for reports."""
+    if bdp_bytes <= 0:
+        raise ValueError("BDP must be positive")
+    return {
+        "peak_bdp": tracer.peak_bytes() / bdp_bytes,
+        "mean_bdp": tracer.mean_bytes() / bdp_bytes,
+        "samples": float(len(tracer.samples)),
+    }

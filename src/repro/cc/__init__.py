@@ -1,0 +1,30 @@
+"""Congestion-control algorithms.
+
+Delay-based (PrioPlus-wrappable): Swift, LEDBAT.
+Delay-gradient: TIMELY.  ECN-based: DCTCP, D2TCP, DCQCN.  INT-based: HPCC.
+Uncontrolled: NoCC.
+"""
+
+from .base import CongestionControl
+from .dcqcn import Dcqcn
+from .dctcp import D2tcp, Dctcp
+from .hpcc import Hpcc
+from .ledbat import Ledbat
+from .nocc import NoCC
+from .powertcp import PowerTcp
+from .swift import Swift, SwiftParams
+from .timely import Timely
+
+__all__ = [
+    "CongestionControl",
+    "Swift",
+    "SwiftParams",
+    "Dctcp",
+    "D2tcp",
+    "Dcqcn",
+    "Timely",
+    "Ledbat",
+    "Hpcc",
+    "PowerTcp",
+    "NoCC",
+]

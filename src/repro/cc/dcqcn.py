@@ -1,0 +1,87 @@
+"""DCQCN (Zhu et al., SIGCOMM 2015), windowed approximation.
+
+DCQCN is the de-facto RDMA/RoCEv2 congestion control: switches ECN-mark,
+receivers aggregate marks into CNPs, and the sender keeps two rates —
+current (``rc``) and target (``rt``):
+
+* on a marked interval: ``rt = rc``, ``rc *= (1 - alpha/2)``, alpha rises;
+* otherwise alpha decays and ``rc`` recovers toward ``rt`` in *fast
+  recovery* steps, then additive and finally hyper increase raise ``rt``.
+
+The original is rate-based; here rates map to windows via the base RTT
+(the standard windowed approximation used in CC studies).  Included as the
+canonical ECN-based RDMA baseline the paper cites [102].
+"""
+
+from __future__ import annotations
+
+from ..transport.flow import AckInfo
+from .base import CongestionControl
+
+__all__ = ["Dcqcn"]
+
+
+class Dcqcn(CongestionControl):
+    def __init__(
+        self,
+        g: float = 1.0 / 16.0,
+        ai_bytes: float = None,
+        hyper_ai_factor: float = 5.0,
+        recovery_stages: int = 5,
+        update_interval_ns: int = 50_000,
+        init_cwnd_bytes: float = None,
+    ):
+        super().__init__(init_cwnd_bytes)
+        self.g = g
+        self._ai_cfg = ai_bytes
+        self.ai_bytes = 0.0
+        self.hyper_ai_factor = hyper_ai_factor
+        self.recovery_stages = recovery_stages
+        self.update_interval_ns = update_interval_ns
+        self.alpha = 1.0
+        self.w_target = 0.0
+        self._stage = 0
+        self._marked_in_interval = False
+        self._interval_end = -(1 << 62)
+
+    def configure(self) -> None:
+        self.ai_bytes = self._ai_cfg if self._ai_cfg is not None else float(self.mtu) / 2
+        self.w_target = self.cwnd
+
+    def on_ack(self, info: AckInfo) -> None:
+        if info.ecn:
+            self._marked_in_interval = True
+        if info.now < self._interval_end:
+            return
+        self._interval_end = info.now + self.update_interval_ns
+        if self._marked_in_interval:
+            self._cut()
+        else:
+            self._recover()
+        self._marked_in_interval = False
+        self.clamp()
+
+    def _cut(self) -> None:
+        self.alpha = (1 - self.g) * self.alpha + self.g
+        self.w_target = self.cwnd
+        self.cwnd *= max(1 - self.alpha / 2, 0.5)
+        self._stage = 0
+
+    def _recover(self) -> None:
+        self.alpha *= 1 - self.g
+        self._stage += 1
+        if self._stage <= self.recovery_stages:
+            # fast recovery: halve the gap toward the target window
+            self.cwnd = (self.cwnd + self.w_target) / 2
+        elif self._stage <= 2 * self.recovery_stages:
+            self.w_target += self.ai_bytes
+            self.cwnd = (self.cwnd + self.w_target) / 2
+        else:
+            self.w_target += self.hyper_ai_factor * self.ai_bytes
+            self.cwnd = (self.cwnd + self.w_target) / 2
+
+    def on_timeout(self) -> None:
+        self.w_target = self.cwnd
+        self.cwnd *= 0.5
+        self._stage = 0
+        self.clamp()

@@ -1,0 +1,108 @@
+"""DCTCP (Alizadeh et al., SIGCOMM 2010) and D2TCP (Vamanan et al., 2012).
+
+DCTCP maintains an EWMA ``alpha`` of the fraction of ECN-marked packets per
+RTT and cuts the window by ``alpha/2`` once per marked RTT.  D2TCP modulates
+the cut by deadline urgency: the penalty becomes ``alpha**d`` where
+``d = Tc / D`` (time-to-complete over time-to-deadline), clamped to
+``[d_min, d_max]`` — urgent flows (d > 1) back off *less*.
+
+Figure 1 / Figure 3a of the PrioPlus paper demonstrate with exactly this
+algorithm that single-bit congestion signals cannot deliver strict priority:
+both flows receive ECN and both decelerate.
+"""
+
+from __future__ import annotations
+
+from ..transport.flow import AckInfo
+from .base import CongestionControl
+
+__all__ = ["Dctcp", "D2tcp"]
+
+
+class Dctcp(CongestionControl):
+    """ECN-fraction window control."""
+
+    def __init__(self, g: float = 1.0 / 16.0, ai_bytes: float = None, init_cwnd_bytes: float = None):
+        super().__init__(init_cwnd_bytes)
+        self.g = g
+        self._ai_bytes_cfg = ai_bytes
+        self.ai_bytes = 0.0
+        self.alpha = 0.0
+        self._rtt_bytes = 0
+        self._rtt_marked = 0
+        self._rtt_end = -(1 << 62)
+
+    def configure(self) -> None:
+        self.ai_bytes = self._ai_bytes_cfg if self._ai_bytes_cfg is not None else float(self.mtu)
+
+    # ------------------------------------------------------------------
+    def on_ack(self, info: AckInfo) -> None:
+        self._rtt_bytes += info.acked_bytes
+        if info.ecn:
+            self._rtt_marked += info.acked_bytes
+        if info.now >= self._rtt_end:
+            self._end_of_rtt(info.now)
+        if not info.ecn and info.acked_bytes > 0:
+            denom = max(self.cwnd, self.mtu)
+            self.cwnd += self.ai_bytes * info.acked_bytes / denom
+            self.clamp()
+
+    def _end_of_rtt(self, now: int) -> None:
+        if self._rtt_bytes > 0:
+            frac = self._rtt_marked / self._rtt_bytes
+            self.alpha = (1.0 - self.g) * self.alpha + self.g * frac
+            if self._rtt_marked > 0:
+                self.cwnd *= 1.0 - self.cut_fraction()
+                self.clamp()
+        self._rtt_bytes = 0
+        self._rtt_marked = 0
+        self._rtt_end = now + self.rtt_estimate()
+
+    def cut_fraction(self) -> float:
+        return self.alpha / 2.0
+
+    def rtt_estimate(self) -> int:
+        return self.sender.last_rtt if self.sender is not None else self.base_rtt
+
+
+class D2tcp(Dctcp):
+    """Deadline-aware DCTCP: penalty ``alpha ** d`` with d = Tc/D."""
+
+    def __init__(
+        self,
+        deadline_ns: int = None,
+        d_min: float = 0.5,
+        d_max: float = 2.0,
+        g: float = 1.0 / 16.0,
+        ai_bytes: float = None,
+        init_cwnd_bytes: float = None,
+    ):
+        super().__init__(g=g, ai_bytes=ai_bytes, init_cwnd_bytes=init_cwnd_bytes)
+        self._deadline_cfg = deadline_ns
+        self.d_min = d_min
+        self.d_max = d_max
+
+    def urgency(self) -> float:
+        """d = Tc / D: how much faster than "on schedule" we must go."""
+        sender = self.sender
+        deadline = self._deadline_cfg if self._deadline_cfg is not None else sender.flow.deadline_ns
+        if deadline is None:
+            return 1.0
+        now = sender.sim.now
+        remaining_time = deadline - now
+        if remaining_time <= 0:
+            return self.d_max
+        rate = max(self.cwnd, self.min_cwnd) / max(self.rtt_estimate(), 1)
+        tc = sender.remaining_bytes / max(rate, 1e-12)
+        d = tc / remaining_time
+        if d < self.d_min:
+            return self.d_min
+        if d > self.d_max:
+            return self.d_max
+        return d
+
+    def cut_fraction(self) -> float:
+        if self.alpha <= 0.0:
+            return 0.0
+        p = self.alpha ** self.urgency()
+        return p / 2.0

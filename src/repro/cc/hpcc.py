@@ -1,0 +1,93 @@
+"""HPCC (Li et al., SIGCOMM 2019), simplified window-mode implementation.
+
+Every data packet carries INT telemetry appended by each switch hop
+(queue length, cumulative transmitted bytes, timestamp, link rate).  The
+sender computes per-hop utilisation::
+
+    U_j = qlen_j / (B_j * T) + txRate_j / B_j
+
+takes the max across hops and steers it to ``eta`` (0.95): multiplicative
+adjustment by ``U/eta`` against a per-RTT reference window ``w_ref``, with up
+to ``max_stage`` additive-increase-only stages when under-utilised.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..transport.flow import AckInfo
+from .base import CongestionControl
+
+__all__ = ["Hpcc"]
+
+
+class Hpcc(CongestionControl):
+    needs_int = True
+
+    def __init__(
+        self,
+        eta: float = 0.95,
+        max_stage: int = 5,
+        ai_bytes: float = None,
+        init_cwnd_bytes: float = None,
+    ):
+        super().__init__(init_cwnd_bytes)
+        self.eta = eta
+        self.max_stage = max_stage
+        self._ai_cfg = ai_bytes
+        self.ai_bytes = 0.0
+        self.w_ref = 0.0
+        self.inc_stage = 0
+        self._last_update = -(1 << 62)
+        #: per-hop previous (tx_bytes, ts) for rate estimation
+        self._prev: Dict[int, Tuple[int, int]] = {}
+        self._u = 0.0
+
+    def configure(self) -> None:
+        self.ai_bytes = self._ai_cfg if self._ai_cfg is not None else float(self.mtu)
+        self.w_ref = self.cwnd
+
+    # ------------------------------------------------------------------
+    def _max_utilisation(self, hops) -> float:
+        u_max = 0.0
+        T = self.base_rtt
+        for j, hop in enumerate(hops):
+            rate_byte_per_ns = hop.rate_bps / 8e9
+            prev = self._prev.get(j)
+            tx_rate = 0.0
+            if prev is not None:
+                d_bytes = hop.tx_bytes - prev[0]
+                d_ts = hop.ts - prev[1]
+                if d_ts > 0:
+                    tx_rate = d_bytes / d_ts  # bytes per ns
+            self._prev[j] = (hop.tx_bytes, hop.ts)
+            u = hop.qlen / (rate_byte_per_ns * T) + tx_rate / rate_byte_per_ns
+            if u > u_max:
+                u_max = u
+        return u_max
+
+    def on_ack(self, info: AckInfo) -> None:
+        if not info.int_hops:
+            return
+        u = self._max_utilisation(info.int_hops)
+        self._u = u
+        per_rtt = info.now - self._last_update >= self.sender.last_rtt
+        if u >= self.eta or self.inc_stage >= self.max_stage:
+            new_w = self.w_ref / (u / self.eta) + self.ai_bytes
+            if per_rtt:
+                self.w_ref = max(new_w, self.min_cwnd)
+                self.inc_stage = 0
+                self._last_update = info.now
+        else:
+            new_w = self.w_ref + self.ai_bytes
+            if per_rtt:
+                self.w_ref = new_w
+                self.inc_stage += 1
+                self._last_update = info.now
+        self.cwnd = max(new_w, self.min_cwnd)
+        self.clamp()
+
+    def on_timeout(self) -> None:
+        self.cwnd *= 0.5
+        self.w_ref = self.cwnd
+        self.clamp()

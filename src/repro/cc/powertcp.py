@@ -1,0 +1,85 @@
+"""PowerTCP (Addanki et al., NSDI 2022), simplified window-mode version.
+
+PowerTCP reacts to *power* — the product of queue dynamics (voltage) and
+throughput (current) — computed from per-hop INT.  Normalising each hop's
+power by its equilibrium value gives ``Γ``; the window is steered by
+
+    w_target = cwnd / Γ + ai
+    cwnd     = γ * w_target + (1 - γ) * cwnd        (EWMA smoothing)
+
+Power sees queue *growth*, not just queue size, so it reacts a full RTT
+faster than HPCC on congestion onset and releases faster on drain.  It is
+included as the most recent INT-based baseline the paper cites [10].
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..transport.flow import AckInfo
+from .base import CongestionControl
+
+__all__ = ["PowerTcp"]
+
+
+class PowerTcp(CongestionControl):
+    needs_int = True
+
+    def __init__(
+        self,
+        gamma: float = 0.8,
+        ai_bytes: float = None,
+        init_cwnd_bytes: float = None,
+    ):
+        if not 0 < gamma <= 1:
+            raise ValueError("gamma must be in (0, 1]")
+        super().__init__(init_cwnd_bytes)
+        self.gamma = gamma
+        self._ai_cfg = ai_bytes
+        self.ai_bytes = 0.0
+        #: per-hop previous (qlen, tx_bytes, ts)
+        self._prev: Dict[int, Tuple[int, int, int]] = {}
+        self.last_power = 1.0
+
+    def configure(self) -> None:
+        self.ai_bytes = self._ai_cfg if self._ai_cfg is not None else float(self.mtu)
+
+    def _normalised_power(self, hops) -> float:
+        """max over hops of (dq/dt + txRate)/rate * (q + BDP)/BDP."""
+        worst = 0.0
+        for j, hop in enumerate(hops):
+            rate = hop.rate_bps / 8e9  # bytes per ns
+            bdp = rate * self.base_rtt
+            prev = self._prev.get(j)
+            dq_dt = 0.0
+            tx_rate = 0.0
+            if prev is not None:
+                d_ts = hop.ts - prev[2]
+                if d_ts > 0:
+                    dq_dt = (hop.qlen - prev[0]) / d_ts
+                    tx_rate = (hop.tx_bytes - prev[1]) / d_ts
+            self._prev[j] = (hop.qlen, hop.tx_bytes, hop.ts)
+            current = max(dq_dt + tx_rate, 0.0) / rate
+            voltage = (hop.qlen + bdp) / bdp
+            power = current * voltage
+            if power > worst:
+                worst = power
+        return worst
+
+    def on_ack(self, info: AckInfo) -> None:
+        if not info.int_hops:
+            return
+        power = self._normalised_power(info.int_hops)
+        self.last_power = power
+        if power <= 0:
+            # idle path: plain additive growth
+            self.cwnd += self.ai_bytes * max(info.acked_bytes, 1) / max(self.cwnd, self.mtu)
+            self.clamp()
+            return
+        w_target = self.cwnd / power + self.ai_bytes
+        self.cwnd = self.gamma * w_target + (1 - self.gamma) * self.cwnd
+        self.clamp()
+
+    def on_timeout(self) -> None:
+        self.cwnd *= 0.5
+        self.clamp()

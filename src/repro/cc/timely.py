@@ -1,0 +1,88 @@
+"""TIMELY (Mittal et al., SIGCOMM 2015): delay-*gradient* congestion control.
+
+TIMELY reacts to the slope of the RTT rather than its absolute value:
+
+* RTT below ``t_low`` — additive increase regardless of gradient;
+* RTT above ``t_high`` — multiplicative decrease proportional to the
+  overshoot, ``w *= 1 - beta * (1 - t_high/rtt)``;
+* otherwise — gradient mode: a smoothed, minRTT-normalised gradient ``g``
+  drives ``w += N*ai`` when non-positive (with hyperactive increase after
+  ``hai_thresh`` consecutive negative-gradient completions) and
+  ``w *= 1 - beta*g`` when positive.
+
+Included as one of the delay-based datacenter CC baselines the paper cites
+(§7); it has no per-priority target, so PrioPlus cannot wrap it directly —
+it serves as a fair-convergence contrast.
+"""
+
+from __future__ import annotations
+
+from ..transport.flow import AckInfo
+from .base import CongestionControl
+
+__all__ = ["Timely"]
+
+
+class Timely(CongestionControl):
+    def __init__(
+        self,
+        t_low_ns: int = 10_000,
+        t_high_ns: int = 100_000,
+        ewma_alpha: float = 0.46,
+        beta: float = 0.8,
+        ai_bytes: float = None,
+        hai_thresh: int = 5,
+        init_cwnd_bytes: float = None,
+    ):
+        super().__init__(init_cwnd_bytes)
+        self.t_low_ns = t_low_ns
+        self.t_high_ns = t_high_ns
+        self.ewma_alpha = ewma_alpha
+        self.beta = beta
+        self._ai_cfg = ai_bytes
+        self.ai_bytes = 0.0
+        self.hai_thresh = hai_thresh
+        self._prev_rtt = 0
+        self._rtt_diff = 0.0
+        self._neg_gradient_count = 0
+        self._last_update = -(1 << 62)
+
+    def configure(self) -> None:
+        self.ai_bytes = self._ai_cfg if self._ai_cfg is not None else float(self.mtu)
+        self.t_low_ns = max(self.t_low_ns, self.base_rtt // 2)
+
+    def on_ack(self, info: AckInfo) -> None:
+        if info.acked_bytes <= 0:
+            return
+        rtt = info.delay_ns
+        if self._prev_rtt == 0:
+            self._prev_rtt = rtt
+            return
+        new_diff = rtt - self._prev_rtt
+        self._prev_rtt = rtt
+        self._rtt_diff = (1 - self.ewma_alpha) * self._rtt_diff + self.ewma_alpha * new_diff
+        # per-RTT pacing of the control decision
+        if info.now - self._last_update < self.base_rtt:
+            return
+        self._last_update = info.now
+        gradient = self._rtt_diff / max(self.base_rtt, 1)
+
+        queuing = rtt - self.base_rtt
+        if queuing < self.t_low_ns:
+            self.cwnd += self.ai_bytes
+            self._neg_gradient_count = 0
+        elif queuing > self.t_high_ns:
+            self.cwnd *= 1 - self.beta * (1 - self.t_high_ns / max(queuing, 1))
+            self._neg_gradient_count = 0
+        elif gradient <= 0:
+            self._neg_gradient_count += 1
+            n = 5 if self._neg_gradient_count >= self.hai_thresh else 1
+            self.cwnd += n * self.ai_bytes
+        else:
+            self._neg_gradient_count = 0
+            self.cwnd *= 1 - self.beta * min(gradient, 1.0)
+        self.clamp()
+
+    def on_timeout(self) -> None:
+        self.cwnd *= 0.5
+        self.clamp()

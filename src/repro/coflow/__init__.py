@@ -1,0 +1,5 @@
+"""Coflow scheduling layer: size-based grouping and CCT tracking."""
+
+from .scheduler import CoflowTracker, assign_coflow_groups, log_boundaries, size_group
+
+__all__ = ["CoflowTracker", "assign_coflow_groups", "log_boundaries", "size_group"]

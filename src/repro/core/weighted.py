@@ -1,0 +1,108 @@
+"""Weighted virtual priority — the paper's §7 future-work direction.
+
+Strict virtual priority (PrioPlus proper) makes a lower-priority flow
+relinquish *all* bandwidth when a higher priority is active.  Weighted
+virtual priority instead guarantees each priority class a configurable
+*residual share* while it is preempted, giving weighted sharing between
+priorities without extra switch queues.
+
+Design (this repo's instantiation of the paper's sketch):
+
+* in-channel behaviour is identical to PrioPlus;
+* on a confirmed ``D_limit`` crossing, instead of halting, the flow clamps
+  its window to ``weight * BaseBDP / #flow`` and *keeps sending* — the
+  residual traffic doubles as the congestion probe, so the probe machinery
+  is not needed while the floor is non-zero;
+* when the delay drops back below ``D_target``, normal channel operation
+  resumes (linear start / adaptive increase as usual).
+
+``weight = 0`` degenerates to strict PrioPlus.  The paper notes the open
+problem that *many* low-priority flows can invert priorities under weighted
+sharing; the cardinality estimate bounds this by dividing the floor among
+the estimated flows, and the :func:`aggregate_floor_share` helper exposes
+the resulting worst-case aggregate share for operators.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..transport.flow import AckInfo
+from .channels import ChannelConfig
+from .prioplus import PrioPlusCC, StartTier
+
+__all__ = ["WeightedPrioPlusCC", "aggregate_floor_share"]
+
+
+class WeightedPrioPlusCC(PrioPlusCC):
+    """PrioPlus with a weighted residual share instead of full relinquish."""
+
+    def __init__(
+        self,
+        inner,
+        channels: ChannelConfig,
+        vpriority: int,
+        weight: float = 0.1,
+        tier: str = StartTier.MEDIUM,
+        **kwargs,
+    ):
+        if not 0.0 <= weight < 1.0:
+            raise ValueError("weight must be in [0, 1)")
+        super().__init__(inner, channels, vpriority, tier=tier, **kwargs)
+        self.weight = weight
+        self.floor_mode = False
+        self.floor_entries = 0
+
+    # ------------------------------------------------------------------
+    def _floor_bytes(self) -> float:
+        return max(
+            self.weight * self.base_bdp / max(self.nflow, 1.0),
+            self.inner.min_cwnd,
+        )
+
+    def _relinquish(self, delay: int) -> None:
+        if self.weight <= 0.0:
+            super()._relinquish(delay)
+            return
+        # weighted mode: keep a floor window instead of halting + probing
+        if self.cardinality_estimation:
+            inflight = delay * self._line_rate_bpns
+            est = inflight / max(self.inner.cwnd, self.inner.mtu)
+            if est > self.nflow:
+                self.nflow = est
+        self.inner.ai_bytes = self.w_ai_origin / self.nflow
+        self.countdown = self._countdown_reset_value()
+        self.relinquish_count += 1
+        self.consec = 0
+        if not self.floor_mode:
+            self.floor_mode = True
+            self.floor_entries += 1
+        self.inner.cwnd = min(self.inner.cwnd, self._floor_bytes())
+        self.inner.clamp()
+
+    def on_ack(self, info: AckInfo) -> None:
+        if self.floor_mode:
+            delay = info.delay_ns
+            if delay >= self.d_limit:
+                # still preempted: hold the floor
+                self.inner.cwnd = min(self.inner.cwnd, self._floor_bytes())
+                return
+            # contention ended: resume normal channel operation
+            self.floor_mode = False
+            self.rtt_end_seq = self.sender.snd_nxt
+            self.rtt_pass = False
+            self.dual_rtt_pass = False
+        super().on_ack(info)
+
+
+def aggregate_floor_share(weight: float, n_flows: int, estimated_cardinality: float) -> float:
+    """Worst-case aggregate share held by preempted weighted flows.
+
+    With per-flow floors of ``weight * BDP / cardinality`` and ``n_flows``
+    active, the preempted class holds up to ``weight * n / cardinality`` of
+    the line — the §7 priority-inversion hazard, bounded as long as the
+    cardinality estimate tracks ``n``.
+    """
+    if n_flows < 0 or estimated_cardinality <= 0:
+        raise ValueError("invalid flow counts")
+    return weight * n_flows / estimated_cardinality

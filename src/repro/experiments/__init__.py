@@ -1,0 +1,1 @@
+"""One experiment runner per figure/table of the paper (see DESIGN.md)."""

@@ -1,0 +1,203 @@
+"""Coflow-scheduling scenario (Figs 12a, 12b, 15, 17, 18).
+
+Cluster-computing traffic on a non-blocking multi-rack fabric: a 1:1 load
+mix of shuffle coflows (synthetic Facebook-Hadoop shape) and file-request
+incasts.  Jobs are sorted into 8 priority groups by total size (smaller =
+higher priority).  The metric is the per-coflow **speedup ratio** of CCT
+against the no-priority Swift baseline, reported for the high four and low
+four priority groups, overall, and at the tail (p99, Fig 15).
+
+Fig 17 re-runs the 70 % load point with PFC off and IRN-style loss recovery;
+Fig 18 adds HPCC and Physical w/o CC.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.fct import percentile
+from ..coflow import CoflowTracker, assign_coflow_groups
+from ..noise import paper_noise
+from ..sim.engine import MICROSECOND, MILLISECOND, Simulator
+from ..topology import multi_rack
+from ..workloads import CoflowSpec, FlowSpec, synthesize_coflows
+from .common import CCFactory, Mode, launch_specs, run_until_flows_done
+
+__all__ = ["CoflowConfig", "run_coflow_mode", "run_coflow_comparison", "speedup_summary"]
+
+N_GROUPS = 8
+
+
+class CoflowConfig:
+    """Scale knobs for the coflow scenario."""
+
+    def __init__(
+        self,
+        n_racks: int = 3,
+        hosts_per_rack: int = 4,
+        host_rate_bps: float = 100e9,
+        core_rate_bps: float = 400e9,
+        load: float = 0.7,
+        duration_ns: int = 2 * MILLISECOND,
+        mean_flow_bytes: int = 100_000,
+        request_fanout: int = 4,
+        request_piece_bytes: int = 40_000,
+        seed: int = 7,
+        mtu: int = 1000,
+        link_delay_ns: int = 300,
+        pfc_enabled: bool = True,
+        lossy: bool = False,
+        with_noise: bool = True,
+    ):
+        self.n_racks = n_racks
+        self.hosts_per_rack = hosts_per_rack
+        self.host_rate_bps = host_rate_bps
+        self.core_rate_bps = core_rate_bps
+        self.load = load
+        self.duration_ns = duration_ns
+        self.mean_flow_bytes = mean_flow_bytes
+        self.request_fanout = request_fanout
+        self.request_piece_bytes = request_piece_bytes
+        self.seed = seed
+        self.mtu = mtu
+        self.link_delay_ns = link_delay_ns
+        self.pfc_enabled = pfc_enabled
+        self.lossy = lossy
+        self.with_noise = with_noise
+
+    @property
+    def n_hosts(self) -> int:
+        return self.n_racks * self.hosts_per_rack
+
+
+def build_workload(cfg: CoflowConfig) -> Tuple[List[CoflowSpec], Dict[int, int]]:
+    """Coflows + file-request jobs (as coflows) filling the byte budget 1:1."""
+    rng = random.Random(cfg.seed)
+    budget = int(cfg.load * cfg.n_hosts * cfg.host_rate_bps * cfg.duration_ns / 8e9)
+    half = budget // 2
+
+    shuffle: List[CoflowSpec] = []
+    total = 0
+    next_id = 0
+    while total < half:
+        batch = synthesize_coflows(
+            rng,
+            cfg.n_hosts,
+            n_coflows=8,
+            duration_ns=cfg.duration_ns,
+            mean_flow_bytes=cfg.mean_flow_bytes,
+        )
+        for c in batch:
+            c.coflow_id = next_id
+            for fl in c.flows:
+                fl.tag = ("coflow", next_id)
+            next_id += 1
+            shuffle.append(c)
+            total += c.total_bytes
+            if total >= half:
+                break
+
+    requests: List[CoflowSpec] = []
+    total_req = 0
+    while total_req < half:
+        t = rng.randrange(max(1, cfg.duration_ns))
+        dst = rng.randrange(cfg.n_hosts)
+        sources = rng.sample([h for h in range(cfg.n_hosts) if h != dst], cfg.request_fanout)
+        flows = [
+            FlowSpec(s, dst, cfg.request_piece_bytes, t, tag=("coflow", next_id))
+            for s in sources
+        ]
+        requests.append(CoflowSpec(next_id, flows, t))
+        next_id += 1
+        total_req += cfg.request_fanout * cfg.request_piece_bytes
+
+    jobs = shuffle + requests
+    groups = assign_coflow_groups(jobs, N_GROUPS)
+    return jobs, groups
+
+
+def run_coflow_mode(
+    mode: str, cfg: CoflowConfig, jobs: List[CoflowSpec], groups: Dict[int, int]
+) -> Dict[int, int]:
+    """Run one mode over a pre-built workload; returns coflow_id -> CCT ns."""
+    sim = Simulator(cfg.seed)
+    factory = CCFactory(mode, n_priorities=N_GROUPS)
+    link_bdp = cfg.host_rate_bps * 1000 / 8e9
+    switch_cfg = factory.switch_config(
+        buffer_bytes=32 * 1024 * 1024,  # §6.2: 32 MB to not starve physical prio
+        headroom_per_port_per_prio=int(2 * link_bdp + 5 * cfg.mtu),
+        pfc_enabled=cfg.pfc_enabled and not cfg.lossy,
+    )
+    net, hosts = multi_rack(
+        sim,
+        n_racks=cfg.n_racks,
+        hosts_per_rack=cfg.hosts_per_rack,
+        host_rate_bps=cfg.host_rate_bps,
+        core_rate_bps=cfg.core_rate_bps,
+        link_delay_ns=cfg.link_delay_ns,
+        switch_cfg=switch_cfg,
+    )
+    tracker = CoflowTracker()
+    specs: List[FlowSpec] = []
+    for job in jobs:
+        tracker.register(job.coflow_id, job.start_ns, len(job.flows))
+        specs.extend(job.flows)
+
+    noise = paper_noise() if cfg.with_noise else None
+    rto = 100 * MICROSECOND if cfg.lossy else None
+    flows, _ = launch_specs(
+        sim,
+        net,
+        specs,
+        hosts,
+        factory,
+        group_of=lambda s: groups[s.tag[1]],
+        mtu=cfg.mtu,
+        noise=noise,
+        rto_ns=rto,
+        on_receive_done=tracker.on_flow_done,
+    )
+    run_until_flows_done(sim, flows, cfg.duration_ns * 50)
+    return tracker.all_ccts()
+
+
+def run_coflow_comparison(
+    modes: Sequence[str],
+    cfg: Optional[CoflowConfig] = None,
+    baseline: str = Mode.SWIFT,
+) -> Dict[str, object]:
+    """Run baseline + modes on the identical workload; return speedups."""
+    cfg = cfg or CoflowConfig()
+    jobs, groups = build_workload(cfg)
+    base_cct = run_coflow_mode(baseline, cfg, jobs, groups)
+    out: Dict[str, object] = {"config": cfg, "n_jobs": len(jobs), "baseline": baseline}
+    results = {}
+    for mode in modes:
+        cct = run_coflow_mode(mode, cfg, jobs, groups)
+        results[mode] = speedup_summary(base_cct, cct, groups)
+    out["speedups"] = results
+    return out
+
+
+def speedup_summary(
+    base_cct: Dict[int, int], cct: Dict[int, int], groups: Dict[int, int]
+) -> Dict[str, float]:
+    """Mean/p99 speedup overall and split into high-4 / low-4 groups."""
+    common = [cid for cid in base_cct if cid in cct]
+    if not common:
+        return {"overall": float("nan")}
+    ratios = {cid: base_cct[cid] / cct[cid] for cid in common}
+    all_r = list(ratios.values())
+    hi = [r for cid, r in ratios.items() if groups[cid] < N_GROUPS // 2]
+    lo = [r for cid, r in ratios.items() if groups[cid] >= N_GROUPS // 2]
+    result = {
+        "overall": sum(all_r) / len(all_r),
+        "overall_p99_slowdown": percentile([1.0 / r for r in all_r], 99),
+        "completed": len(common),
+    }
+    if hi:
+        result["high4"] = sum(hi) / len(hi)
+    if lo:
+        result["low4"] = sum(lo) / len(lo)
+    return result

@@ -1,0 +1,136 @@
+"""Figure 14 (and §6.3): FCT breakdown by priority level and flow size.
+
+Unlike the Fig 11 scenario, priorities are *not* derived from flow size:
+each priority level carries a complete WebSearch workload (equal load per
+level, 50 % total).  This isolates the question "does a higher delay
+threshold hurt the flows that hold it?" — the paper's answer is no: the
+highest priority's D_target is 60 µs yet its sub-RTT flows average 20.9 µs,
+because the experienced delay is set by whoever currently holds the channel,
+not by one's own threshold.
+
+Results are normalised by Physical*+Swift per (priority tier x size bucket).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.fct import percentile
+from ..core import StartTier
+from ..noise import paper_noise
+from ..sim.engine import MILLISECOND, Simulator
+from ..topology import fat_tree
+from ..workloads import poisson_flows, websearch
+from .common import CCFactory, Mode, launch_specs, run_until_flows_done
+from .flowsched import FlowSchedConfig
+
+__all__ = ["run_fig14", "FIG14_MODES", "normalize_to_physical"]
+
+FIG14_MODES = (Mode.PRIOPLUS, Mode.PHYSICAL_IDEAL, Mode.PHYSICAL_IDEAL_NOCC, Mode.D2TCP)
+
+
+def run_fig14(
+    mode: str,
+    n_priorities: int = 12,
+    cfg: Optional[FlowSchedConfig] = None,
+) -> Dict[str, object]:
+    cfg = cfg or FlowSchedConfig(load=0.5)
+    sim = Simulator(cfg.seed)
+
+    def tier_of_level_group(group: int) -> str:
+        # group 0 = highest level; tiers per the paper: high / middle / low
+        if group == 0:
+            return StartTier.HIGH
+        if group < n_priorities // 2:
+            return StartTier.MEDIUM
+        return StartTier.LOW
+
+    factory = CCFactory(
+        mode,
+        n_priorities=n_priorities,
+        tier_of_group=tier_of_level_group,
+        probe_tiers=(StartTier.MEDIUM, StartTier.LOW),  # §6.3: probe for mid+low
+    )
+    switch_cfg = factory.switch_config(
+        buffer_bytes=cfg.buffer_bytes(),
+        headroom_per_port_per_prio=cfg.headroom_bytes(),
+        pfc_enabled=cfg.pfc_enabled,
+    )
+    net, hosts = fat_tree(
+        sim, k=cfg.k, rate_bps=cfg.rate_bps, link_delay_ns=cfg.link_delay_ns, switch_cfg=switch_cfg
+    )
+    rng = random.Random(cfg.seed)
+    cdf = websearch(cfg.size_scale)
+    specs = poisson_flows(rng, len(hosts), cdf, cfg.load, cfg.rate_bps, cfg.duration_ns)
+    # assign a priority level uniformly: every level sees the same workload
+    levels = [rng.randrange(n_priorities) for _ in specs]
+    level_of = dict(zip([id(s) for s in specs], levels))
+
+    noise = paper_noise() if cfg.with_noise else None
+    flows, senders = launch_specs(
+        sim,
+        net,
+        specs,
+        hosts,
+        factory,
+        group_of=lambda s: level_of[id(s)],
+        mtu=cfg.mtu,
+        noise=noise,
+    )
+    for f, lvl in zip(flows, levels):
+        f.tag = ("level", n_priorities - 1 - lvl)  # paper labels: larger = higher
+    run_until_flows_done(sim, flows, cfg.duration_ns * 40)
+
+    # bucket by (priority tier, size bucket)
+    small_cut = cfg.size_classes()[0][2]
+    middle_cut = cfg.size_classes()[1][2]
+    sub_rtt_cut = int(cfg.rate_bps * 12_000 / 8e9)  # ~one base-RTT of bytes
+
+    def size_bucket(size: int) -> str:
+        if size <= sub_rtt_cut:
+            return "sub_rtt"
+        if size <= small_cut:
+            return "small"
+        if size <= middle_cut:
+            return "middle"
+        return "large"
+
+    def tier_name(level: int) -> str:
+        # level here uses the paper's labels: 0..n-1 with larger = higher
+        if level == n_priorities - 1:
+            return "high"
+        if level >= n_priorities // 2:
+            return "middle"
+        return "low"
+
+    cells: Dict[Tuple[str, str], List[float]] = {}
+    for f in flows:
+        if not f.done:
+            continue
+        key = (tier_name(f.tag[1]), size_bucket(f.size_bytes))
+        cells.setdefault(key, []).append(f.fct_ns())
+    return {
+        "mode": mode,
+        "n_flows": len(flows),
+        "n_done": sum(1 for f in flows if f.done),
+        "cells": {
+            k: {"mean_us": sum(v) / len(v) / 1e3, "p99_us": percentile(v, 99) / 1e3, "count": len(v)}
+            for k, v in cells.items()
+        },
+    }
+
+
+def normalize_to_physical(
+    results: Dict[str, Dict[str, object]], baseline_mode: str = Mode.PHYSICAL_IDEAL
+) -> Dict[str, Dict[Tuple[str, str], float]]:
+    """mode -> {(tier, bucket): mean FCT / baseline mean FCT}."""
+    base = results[baseline_mode]["cells"]
+    out: Dict[str, Dict[Tuple[str, str], float]] = {}
+    for mode, res in results.items():
+        norm = {}
+        for key, stats in res["cells"].items():
+            if key in base and base[key]["mean_us"] > 0:
+                norm[key] = stats["mean_us"] / base[key]["mean_us"]
+        out[mode] = norm
+    return out

@@ -1,0 +1,180 @@
+"""Generic flow-scheduling scenario (§6.2): WebSearch traffic on a fat-tree.
+
+Flows are grouped by size into ``n_priorities`` classes (smaller = higher
+priority), approximating size-based scheduling algorithms (pFabric / PIAS
+style).  The same workload (same seed) is replayed under every mode so FCT
+comparisons are paired.
+
+Used by Fig 11 (priority-count sweep), Fig 14 (per-priority WebSearch
+breakdown), Fig 16 (PrioPlus* ACK priority + HPCC).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..analysis.fct import FctStats, percentile
+from ..core import ChannelConfig, StartTier
+from ..noise import paper_noise
+from ..sim.engine import MICROSECOND, MILLISECOND, Simulator
+from ..topology import fat_tree
+from ..transport.flow import Flow
+from ..workloads import EmpiricalCdf, poisson_flows, websearch
+from .common import CCFactory, Mode, launch_specs, run_until_flows_done
+
+__all__ = ["FlowSchedConfig", "run_flowsched", "size_group_boundaries"]
+
+
+class FlowSchedConfig:
+    """Scale knobs for the flow-scheduling scenario."""
+
+    def __init__(
+        self,
+        k: int = 4,
+        rate_bps: float = 10e9,
+        link_delay_ns: int = 1000,
+        load: float = 0.7,
+        duration_ns: int = 3 * MILLISECOND,
+        size_scale: float = 0.1,
+        buffer_mb_per_tbps: float = 4.4,
+        seed: int = 42,
+        mtu: int = 1000,
+        with_noise: bool = True,
+        pfc_enabled: bool = True,
+        rto_ns: Optional[int] = None,
+        cdf_factory=websearch,
+    ):
+        self.k = k
+        self.rate_bps = rate_bps
+        self.link_delay_ns = link_delay_ns
+        self.load = load
+        self.duration_ns = duration_ns
+        self.size_scale = size_scale
+        self.buffer_mb_per_tbps = buffer_mb_per_tbps
+        self.seed = seed
+        self.mtu = mtu
+        self.with_noise = with_noise
+        self.pfc_enabled = pfc_enabled
+        self.rto_ns = rto_ns
+        #: callable(scale) -> EmpiricalCdf; swap in hadoop()/ali_storage()
+        self.cdf_factory = cdf_factory
+
+    def buffer_bytes(self) -> int:
+        """Chip buffer from the paper's 4.4 MB/Tbps Tomahawk4 ratio."""
+        ports = self.k + self.k  # edge/agg switch port count upper bound
+        capacity_tbps = ports * self.rate_bps / 1e12
+        return max(int(self.buffer_mb_per_tbps * 1024 * 1024 * capacity_tbps), 256 * 1024)
+
+    def headroom_bytes(self) -> int:
+        """Per-port per-priority PFC headroom: ~2 link BDP + a few MTUs."""
+        link_bdp = self.rate_bps * self.link_delay_ns / 8e9
+        return int(2 * link_bdp + 5 * self.mtu)
+
+    def size_classes(self) -> Sequence:
+        s = self.size_scale
+        return (
+            ("small", 0, int(300_000 * s)),
+            ("middle", int(300_000 * s), int(6_000_000 * s)),
+            ("large", int(6_000_000 * s), 1 << 62),
+        )
+
+
+def size_group_boundaries(cdf: EmpiricalCdf, n_groups: int) -> List[float]:
+    """Size thresholds splitting the workload into equal-probability groups."""
+    return [cdf.quantile((i + 1) / n_groups) for i in range(n_groups - 1)]
+
+
+def run_flowsched(
+    mode: str,
+    n_priorities: int,
+    cfg: Optional[FlowSchedConfig] = None,
+    big_buffer: bool = False,
+) -> Dict[str, object]:
+    """One mode x one priority count; returns per-size-class FCT stats."""
+    cfg = cfg or FlowSchedConfig()
+    sim = Simulator(cfg.seed)
+    factory = CCFactory(mode, n_priorities=n_priorities)
+    cdf = cfg.cdf_factory(cfg.size_scale)
+    boundaries = size_group_boundaries(cdf, n_priorities)
+    # §4.4: latency-sensitive (small-class) flows start without probing and
+    # with an aggressive W_LS; throughput-class flows probe before starting.
+    small_cut = cfg.size_classes()[0][2]
+    middle_cut = cfg.size_classes()[1][2]
+
+    def tier_of_group(group: int) -> str:
+        upper = boundaries[group] if group < len(boundaries) else float("inf")
+        if upper <= small_cut:
+            return StartTier.HIGH
+        if upper <= middle_cut:
+            return StartTier.MEDIUM
+        return StartTier.LOW
+
+    factory = CCFactory(mode, n_priorities=n_priorities, tier_of_group=tier_of_group)
+    switch_cfg = factory.switch_config(
+        buffer_bytes=cfg.buffer_bytes() if not big_buffer else 32 * 1024 * 1024,
+        headroom_per_port_per_prio=cfg.headroom_bytes(),
+        pfc_enabled=cfg.pfc_enabled,
+    )
+    net, hosts = fat_tree(
+        sim, k=cfg.k, rate_bps=cfg.rate_bps, link_delay_ns=cfg.link_delay_ns, switch_cfg=switch_cfg
+    )
+    rng = random.Random(cfg.seed)
+    specs = poisson_flows(
+        rng, len(hosts), cdf, cfg.load, cfg.rate_bps, cfg.duration_ns
+    )
+
+    def group_of(spec) -> int:
+        for g, b in enumerate(boundaries):
+            if spec.size_bytes <= b:
+                return g
+        return n_priorities - 1
+
+    noise = paper_noise() if cfg.with_noise else None
+    flows, senders = launch_specs(
+        sim, net, specs, hosts, factory, group_of, mtu=cfg.mtu, noise=noise, rto_ns=cfg.rto_ns
+    )
+    deadline = cfg.duration_ns * 40
+    all_done = run_until_flows_done(sim, flows, deadline)
+
+    done_flows = [f for f in flows if f.done]
+    result: Dict[str, object] = {
+        "mode": mode,
+        "n_priorities": n_priorities,
+        "n_flows": len(flows),
+        "n_done": len(done_flows),
+        "all_done": all_done,
+        "drops": net.total_drops(),
+        "pfc_pauses": net.total_pfc_pauses(),
+    }
+    if not done_flows:
+        return result
+    fcts_all = [f.fct_ns() for f in done_flows]
+    result["fct"] = {"all": _stats(fcts_all)}
+    for name, lo, hi in cfg.size_classes():
+        vals = [f.fct_ns() for f in done_flows if lo <= f.size_bytes < hi]
+        if vals:
+            result["fct"][name] = _stats(vals)
+    # per-priority-group breakdown (Fig 14 uses this)
+    per_group: Dict[int, List[float]] = {}
+    for f in done_flows:
+        g = group_of(_SizeOnly(f.size_bytes))
+        per_group.setdefault(g, []).append(f.fct_ns())
+    result["fct_by_group"] = {g: _stats(v) for g, v in per_group.items()}
+    return result
+
+
+class _SizeOnly:
+    __slots__ = ("size_bytes",)
+
+    def __init__(self, size_bytes: int):
+        self.size_bytes = size_bytes
+
+
+def _stats(values: List[float]) -> Dict[str, float]:
+    return {
+        "count": len(values),
+        "mean_us": sum(values) / len(values) / 1e3,
+        "p50_us": percentile(values, 50) / 1e3,
+        "p99_us": percentile(values, 99) / 1e3,
+    }

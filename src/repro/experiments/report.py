@@ -1,0 +1,33 @@
+"""Small text-report helpers shared by experiment runners and benches."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+__all__ = ["format_table", "print_table"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = "") -> str:
+    str_rows: List[List[str]] = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def print_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = "") -> None:
+    print(format_table(headers, rows, title))
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)

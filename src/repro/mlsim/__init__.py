@@ -1,0 +1,6 @@
+"""ML-cluster training traffic: ring all-reduce over simulated fabrics."""
+
+from .allreduce import TrainingJob
+from .models import RESNET50, VGG16, ModelProfile, scaled_model
+
+__all__ = ["TrainingJob", "ModelProfile", "RESNET50", "VGG16", "scaled_model"]

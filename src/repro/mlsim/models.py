@@ -1,0 +1,46 @@
+"""Model traffic profiles for the ML-training scenario (§6.2).
+
+The paper generates ResNet and VGG data-parallel training traffic (via
+Astra-sim) with ring all-reduce.  What the network sees per iteration is the
+gradient volume exchanged and the compute gap between iterations; both are
+captured here.  Sizes are the standard FP32 parameter counts (ResNet-50:
+25.6 M params ≈ 102 MB; VGG-16: 138 M params ≈ 553 MB); compute times are
+representative relative magnitudes (ResNet is compute-heavier per byte,
+VGG is communication-dominated — the property that makes interleaving
+their traffic profitable [Rajasekaran et al. 2022]).
+"""
+
+from __future__ import annotations
+
+__all__ = ["ModelProfile", "RESNET50", "VGG16", "scaled_model"]
+
+
+class ModelProfile:
+    """Per-iteration traffic/compute profile of one data-parallel model."""
+
+    __slots__ = ("name", "gradient_bytes", "compute_ns")
+
+    def __init__(self, name: str, gradient_bytes: int, compute_ns: int):
+        if gradient_bytes <= 0 or compute_ns < 0:
+            raise ValueError("invalid model profile")
+        self.name = name
+        self.gradient_bytes = gradient_bytes
+        self.compute_ns = compute_ns
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ModelProfile({self.name}, {self.gradient_bytes}B, {self.compute_ns}ns)"
+
+
+RESNET50 = ModelProfile("resnet50", gradient_bytes=102_000_000, compute_ns=120_000_000)
+VGG16 = ModelProfile("vgg16", gradient_bytes=553_000_000, compute_ns=80_000_000)
+
+
+def scaled_model(base: ModelProfile, scale: float) -> ModelProfile:
+    """Shrink a profile for CI-scale simulation (shape-preserving)."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    return ModelProfile(
+        base.name,
+        max(1, int(base.gradient_bytes * scale)),
+        max(0, int(base.compute_ns * scale)),
+    )

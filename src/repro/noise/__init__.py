@@ -1,0 +1,5 @@
+"""Delay-measurement noise models."""
+
+from .delay_noise import CompositeNoise, LognormalNoise, NoNoise, UniformNoise, paper_noise
+
+__all__ = ["LognormalNoise", "UniformNoise", "CompositeNoise", "NoNoise", "paper_noise"]

@@ -1,0 +1,105 @@
+"""Shared switch buffer with dynamic-threshold admission.
+
+Models the memory-management unit of a shared-buffer switch chip:
+
+* one **shared pool** used by all egress queues, with admission governed by
+  the dynamic-threshold algorithm of Choudhury & Hahne (a queue may grow up to
+  ``alpha`` times the *remaining free* shared memory);
+* a **PFC headroom pool**, reserved up-front per lossless priority, that
+  absorbs the in-flight data arriving between a PAUSE being sent and the
+  upstream actually stopping.
+
+The paper's ``Physical*`` configuration ("ideal physical priority", §6.2) is
+obtained by reserving *zero* headroom regardless of the number of lossless
+priorities — headroom is assumed to live outside the chip buffer.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SharedBuffer", "BufferStats"]
+
+
+class BufferStats:
+    """Counters exported by a :class:`SharedBuffer`."""
+
+    __slots__ = ("admitted_shared", "admitted_headroom", "dropped", "peak_shared", "peak_headroom")
+
+    def __init__(self):
+        self.admitted_shared = 0
+        self.admitted_headroom = 0
+        self.dropped = 0
+        self.peak_shared = 0
+        self.peak_headroom = 0
+
+
+class SharedBuffer:
+    """Byte-accounting for one switch's packet memory.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Total chip buffer.
+    headroom_bytes:
+        Bytes reserved for PFC headroom (0 for lossy or ``Physical*``).
+    dt_alpha:
+        Dynamic-threshold factor: an egress queue of current length ``q`` may
+        accept a packet only if ``q < dt_alpha * free_shared``.
+    """
+
+    def __init__(self, capacity_bytes: int, headroom_bytes: int = 0, dt_alpha: float = 1.0):
+        if headroom_bytes > capacity_bytes:
+            raise ValueError(
+                f"headroom {headroom_bytes} exceeds buffer capacity {capacity_bytes}"
+            )
+        self.capacity = capacity_bytes
+        self.headroom_capacity = headroom_bytes
+        self.shared_capacity = capacity_bytes - headroom_bytes
+        self.dt_alpha = dt_alpha
+        self.shared_used = 0
+        self.headroom_used = 0
+        self.stats = BufferStats()
+
+    # ------------------------------------------------------------------
+    @property
+    def free_shared(self) -> int:
+        return self.shared_capacity - self.shared_used
+
+    def shared_threshold(self) -> float:
+        """Current dynamic per-queue admission threshold."""
+        return self.dt_alpha * self.free_shared
+
+    def try_admit_shared(self, queue_bytes: int, size: int) -> bool:
+        """Admit ``size`` bytes into a queue currently holding ``queue_bytes``."""
+        if self.shared_used + size > self.shared_capacity:
+            return False
+        if queue_bytes >= self.shared_threshold():
+            return False
+        self.shared_used += size
+        self.stats.admitted_shared += 1
+        if self.shared_used > self.stats.peak_shared:
+            self.stats.peak_shared = self.shared_used
+        return True
+
+    def try_admit_headroom(self, size: int) -> bool:
+        """Admit into the PFC headroom pool (post-PAUSE in-flight data)."""
+        if self.headroom_used + size > self.headroom_capacity:
+            return False
+        self.headroom_used += size
+        self.stats.admitted_headroom += 1
+        if self.headroom_used > self.stats.peak_headroom:
+            self.stats.peak_headroom = self.headroom_used
+        return True
+
+    def release(self, size: int, from_headroom: bool) -> None:
+        """Return ``size`` bytes to the pool the packet was charged to."""
+        if from_headroom:
+            self.headroom_used -= size
+            if self.headroom_used < 0:
+                raise AssertionError("headroom accounting went negative")
+        else:
+            self.shared_used -= size
+            if self.shared_used < 0:
+                raise AssertionError("shared-pool accounting went negative")
+
+    def record_drop(self) -> None:
+        self.stats.dropped += 1

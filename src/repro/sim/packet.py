@@ -1,0 +1,121 @@
+"""Packet model.
+
+A single :class:`Packet` class covers data, acknowledgement and probe
+traffic; the :attr:`Packet.kind` discriminator keeps the hot path (switch
+forwarding) monomorphic.  PFC PAUSE/RESUME frames are *not* packets — they are
+modelled as control signals delivered directly between adjacent ports (see
+:mod:`repro.sim.pfc`), mirroring the fact that real PFC frames are consumed by
+the MAC layer and never enter the switching pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "Packet",
+    "IntHop",
+    "DATA",
+    "ACK",
+    "PROBE",
+    "PROBE_ACK",
+    "HEADER_BYTES",
+    "MIN_PACKET_BYTES",
+]
+
+DATA = 0
+ACK = 1
+PROBE = 2
+PROBE_ACK = 3
+
+#: Ethernet + IP + transport header overhead accounted per packet on the wire.
+HEADER_BYTES = 40
+#: Minimum frame size (probe packets, bare ACKs).
+MIN_PACKET_BYTES = 64
+
+
+class IntHop:
+    """In-band network telemetry record stamped by one switch hop (HPCC)."""
+
+    __slots__ = ("qlen", "tx_bytes", "ts", "rate_bps")
+
+    def __init__(self, qlen: int, tx_bytes: int, ts: int, rate_bps: float):
+        self.qlen = qlen
+        self.tx_bytes = tx_bytes
+        self.ts = ts
+        self.rate_bps = rate_bps
+
+
+class Packet:
+    """A packet travelling through the simulated network.
+
+    ``size`` is the full on-wire size in bytes (payload + headers).
+    ``priority`` is the *physical* queue index used by switches; the virtual
+    priority lives in the flow, not the packet, because PrioPlus shares one
+    physical queue among all virtual priorities.
+    """
+
+    __slots__ = (
+        "kind",
+        "size",
+        "payload",
+        "priority",
+        "local_prio",
+        "src",
+        "dst",
+        "flow_id",
+        "seq",
+        "send_ts",
+        "echo_ts",
+        "ecn",
+        "ecn_echo",
+        "int_hops",
+        "ack_seq",
+        "sack",
+        "hash_salt",
+    )
+
+    def __init__(
+        self,
+        kind: int,
+        size: int,
+        src: int,
+        dst: int,
+        flow_id: int,
+        seq: int = 0,
+        priority: int = 0,
+        payload: int = 0,
+        send_ts: int = 0,
+    ):
+        self.kind = kind
+        self.size = size
+        self.payload = payload
+        self.priority = priority
+        #: queue index at the *sending host's* NIC only (-1: use `priority`).
+        #: Lets a host schedule its own flows by virtual priority even though
+        #: they share one physical switch queue.
+        self.local_prio = -1
+        self.src = src
+        self.dst = dst
+        self.flow_id = flow_id
+        self.seq = seq
+        self.send_ts = send_ts
+        self.echo_ts = 0
+        self.ecn = False
+        self.ecn_echo = False
+        self.int_hops: Optional[List[IntHop]] = None
+        self.ack_seq = 0
+        self.sack: Optional[Tuple[int, int]] = None
+        self.hash_salt = 0
+
+    @property
+    def is_control(self) -> bool:
+        """ACKs and probe echoes are control traffic (may be prioritised)."""
+        return self.kind in (ACK, PROBE_ACK)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        names = {DATA: "DATA", ACK: "ACK", PROBE: "PROBE", PROBE_ACK: "PROBE_ACK"}
+        return (
+            f"<{names.get(self.kind, self.kind)} flow={self.flow_id} seq={self.seq} "
+            f"{self.size}B prio={self.priority} {self.src}->{self.dst}>"
+        )

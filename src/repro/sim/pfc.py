@@ -1,0 +1,89 @@
+"""Priority Flow Control (IEEE 802.1Qbb) model.
+
+PFC works hop-by-hop: a switch counts, per *(ingress port, priority)*, the
+bytes it is currently buffering that arrived through that ingress.  When the
+counter exceeds ``xoff`` it sends a PAUSE frame upstream for that priority;
+when it drains below ``xon`` it sends a RESUME.  PAUSE/RESUME propagate with
+the link's propagation delay and act on the upstream egress port's scheduler.
+
+The ``xoff`` threshold can be static or coupled to the remaining shared
+buffer (``dynamic=True``), reflecting real shared-buffer chips where ingress
+admission thresholds shrink as the pool fills — this coupling is what makes a
+large number of lossless priorities expensive (paper §2.2, Fig. 11).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .buffer import SharedBuffer
+from .engine import Simulator
+
+__all__ = ["PfcIngressState", "PfcConfig"]
+
+
+class PfcConfig:
+    """PFC knobs for one switch."""
+
+    __slots__ = ("enabled", "xoff_bytes", "xon_bytes", "dynamic", "dyn_alpha")
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        xoff_bytes: int = 100 * 1024,
+        xon_bytes: Optional[int] = None,
+        dynamic: bool = True,
+        dyn_alpha: float = 0.5,
+    ):
+        self.enabled = enabled
+        self.xoff_bytes = xoff_bytes
+        self.xon_bytes = xon_bytes if xon_bytes is not None else max(0, xoff_bytes - 4096)
+        self.dynamic = dynamic
+        self.dyn_alpha = dyn_alpha
+
+
+class PfcIngressState:
+    """Pause state machine for one (ingress port, priority) pair."""
+
+    __slots__ = ("sim", "cfg", "buffer", "bytes", "pause_sent", "send_signal", "pauses_sent", "resumes_sent")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cfg: PfcConfig,
+        buffer: SharedBuffer,
+        send_signal: Callable[[bool], None],
+    ):
+        self.sim = sim
+        self.cfg = cfg
+        self.buffer = buffer
+        self.bytes = 0
+        self.pause_sent = False
+        #: callable(paused: bool) delivering PAUSE/RESUME to the upstream port
+        self.send_signal = send_signal
+        self.pauses_sent = 0
+        self.resumes_sent = 0
+
+    def _xoff(self) -> float:
+        cfg = self.cfg
+        if cfg.dynamic:
+            return min(cfg.xoff_bytes, cfg.dyn_alpha * self.buffer.free_shared)
+        return cfg.xoff_bytes
+
+    def on_enqueue(self, size: int) -> None:
+        self.bytes += size
+        if not self.cfg.enabled or self.pause_sent:
+            return
+        if self.bytes > self._xoff():
+            self.pause_sent = True
+            self.pauses_sent += 1
+            self.send_signal(True)
+
+    def on_dequeue(self, size: int) -> None:
+        self.bytes -= size
+        if self.bytes < 0:
+            raise AssertionError("PFC ingress accounting went negative")
+        if self.pause_sent and self.bytes <= min(self.cfg.xon_bytes, self._xoff()):
+            self.pause_sent = False
+            self.resumes_sent += 1
+            self.send_signal(False)

@@ -1,0 +1,203 @@
+"""Output port with strict-priority queues.
+
+One :class:`Port` models the egress side of a link: per-priority FIFO queues,
+a strict-priority scheduler (higher queue index = higher priority, matching
+the paper's convention), PFC pause flags per priority, ECN marking, and INT
+stamping for HPCC.
+
+The port dequeues a packet when it *starts* transmitting it; buffer
+accounting is released at that point (start-of-transmission freeing, the
+convention used by ns-3's qbb model).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, List, Optional, Tuple
+
+from .engine import Simulator
+from .packet import IntHop, Packet
+
+__all__ = ["Port"]
+
+
+class Port:
+    """Egress port: priority queues + strict-priority scheduler + one link."""
+
+    __slots__ = (
+        "sim",
+        "name",
+        "rate_bps",
+        "ns_per_byte",
+        "n_queues",
+        "queues",
+        "qbytes",
+        "total_bytes",
+        "paused",
+        "busy",
+        "prop_delay_ns",
+        "peer",
+        "peer_in_idx",
+        "ecn_k",
+        "tx_bytes_total",
+        "tx_packets_total",
+        "on_dequeue",
+        "stamp_int",
+        "local_queues",
+        "ecn_marker",
+        "down",
+        "dropped_on_cut",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate_bps: float,
+        n_queues: int = 8,
+        ecn_k: Optional[int] = None,
+        name: str = "port",
+        stamp_int: bool = False,
+        local_queues: bool = False,
+    ):
+        if rate_bps <= 0:
+            raise ValueError("rate must be positive")
+        self.sim = sim
+        self.name = name
+        self.rate_bps = rate_bps
+        self.ns_per_byte = 8e9 / rate_bps
+        self.n_queues = n_queues
+        self.queues: List[deque] = [deque() for _ in range(n_queues)]
+        self.qbytes = [0] * n_queues
+        self.total_bytes = 0
+        self.paused = [False] * n_queues
+        self.busy = False
+        self.prop_delay_ns = 0
+        self.peer = None  # receiving node
+        self.peer_in_idx = 0  # index of this link at the peer's ingress
+        #: per-queue ECN marking threshold in bytes (None disables marking)
+        self.ecn_k = ecn_k
+        self.tx_bytes_total = 0
+        self.tx_packets_total = 0
+        #: callback(pkt, ctx) invoked when a packet leaves the queues
+        self.on_dequeue: Optional[Callable[[Packet, Any], None]] = None
+        self.stamp_int = stamp_int
+        #: host-NIC mode: queue index comes from pkt.local_prio (virtual
+        #: priority) while PFC pause still applies per *physical* class, by
+        #: inspecting the head packet's `priority` field.
+        self.local_queues = local_queues
+        #: optional custom ECN hook: callable(pkt, queue_bytes) -> bool,
+        #: overriding the uniform `ecn_k` threshold (Appendix-B extension)
+        self.ecn_marker = None
+        #: administratively/physically down: nothing transmits
+        self.down = False
+        self.dropped_on_cut = 0
+
+    # ------------------------------------------------------------------
+    def connect(self, peer, prop_delay_ns: int, peer_in_idx: int = 0) -> None:
+        """Attach the downstream node reached through this port."""
+        self.peer = peer
+        self.prop_delay_ns = int(prop_delay_ns)
+        self.peer_in_idx = peer_in_idx
+
+    def tx_time_ns(self, size_bytes: int) -> int:
+        return max(1, int(size_bytes * self.ns_per_byte))
+
+    # ------------------------------------------------------------------
+    def queue_index(self, pkt: Packet) -> int:
+        if self.local_queues and pkt.local_prio >= 0:
+            return min(pkt.local_prio, self.n_queues - 1)
+        return pkt.priority
+
+    def enqueue(self, pkt: Packet, ctx: Any = None) -> None:
+        """Queue a packet for transmission (admission already decided)."""
+        q = self.queue_index(pkt)
+        if self.ecn_marker is not None:
+            if self.ecn_marker(pkt, self.qbytes[q]):
+                pkt.ecn = True
+        elif self.ecn_k is not None and self.qbytes[q] + pkt.size > self.ecn_k:
+            pkt.ecn = True
+        self.queues[q].append((pkt, ctx))
+        self.qbytes[q] += pkt.size
+        self.total_bytes += pkt.size
+        if not self.busy:
+            self._kick()
+
+    def set_paused(self, prio: int, paused: bool) -> None:
+        """PFC pause/resume for one *physical* priority class."""
+        if prio < len(self.paused):
+            self.paused[prio] = paused
+        if not paused and not self.busy:
+            self._kick()
+
+    def kick(self) -> None:
+        """Re-evaluate the scheduler (e.g. after a resume or new packet)."""
+        if not self.busy:
+            self._kick()
+
+    # ------------------------------------------------------------------
+    def _select_queue(self) -> int:
+        """Highest non-empty queue whose head's physical class isn't paused."""
+        queues = self.queues
+        paused = self.paused
+        n_paused = len(paused)
+        for q in range(self.n_queues - 1, -1, -1):
+            queue = queues[q]
+            if not queue:
+                continue
+            phys = queue[0][0].priority
+            if phys < n_paused and paused[phys]:
+                continue
+            return q
+        return -1
+
+    def cut(self) -> int:
+        """Take the link down, dropping everything queued (a fibre cut).
+
+        Returns the number of packets dropped.  Buffer accounting is
+        released through the usual dequeue callback.
+        """
+        self.down = True
+        dropped = 0
+        for q in range(self.n_queues):
+            while self.queues[q]:
+                pkt, ctx = self.queues[q].popleft()
+                self.qbytes[q] -= pkt.size
+                self.total_bytes -= pkt.size
+                if self.on_dequeue is not None:
+                    self.on_dequeue(pkt, ctx)
+                dropped += 1
+        self.dropped_on_cut += dropped
+        return dropped
+
+    def restore(self) -> None:
+        """Bring the link back up and resume transmission."""
+        self.down = False
+        if not self.busy:
+            self._kick()
+
+    def _kick(self) -> None:
+        if self.down:
+            return
+        q = self._select_queue()
+        if q < 0:
+            return
+        pkt, ctx = self.queues[q].popleft()
+        self.qbytes[q] -= pkt.size
+        self.total_bytes -= pkt.size
+        self.busy = True
+        if self.stamp_int and pkt.int_hops is not None:
+            pkt.int_hops.append(
+                IntHop(self.total_bytes, self.tx_bytes_total, self.sim.now, self.rate_bps)
+            )
+        if self.on_dequeue is not None:
+            self.on_dequeue(pkt, ctx)
+        self.tx_bytes_total += pkt.size
+        self.tx_packets_total += 1
+        self.sim.after(self.tx_time_ns(pkt.size), self._tx_done, pkt)
+
+    def _tx_done(self, pkt: Packet) -> None:
+        if self.peer is None:
+            raise RuntimeError(f"{self.name}: transmitting on an unconnected port")
+        self.sim.after(self.prop_delay_ns, self.peer.receive, pkt, self.peer_in_idx)
+        self.busy = False
+        self._kick()

@@ -1,0 +1,196 @@
+"""Output-queued switch with shared buffer, ECN, PFC and ECMP routing."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .buffer import SharedBuffer
+from .engine import Simulator
+from .packet import Packet
+from .pfc import PfcConfig, PfcIngressState
+from .port import Port
+
+__all__ = ["Switch", "SwitchConfig", "ecmp_hash"]
+
+_GOLDEN = 0x9E3779B1
+_MIX = 0x85EBCA77
+
+
+def ecmp_hash(flow_id: int, node_id: int, salt: int = 0) -> int:
+    """Deterministic per-flow hash used for ECMP next-hop selection."""
+    h = (flow_id * _GOLDEN) ^ (node_id * _MIX) ^ (salt * 0xC2B2AE35)
+    h ^= h >> 13
+    h = (h * 0x27D4EB2F) & 0xFFFFFFFF
+    return h ^ (h >> 16)
+
+
+class SwitchConfig:
+    """Buffer/PFC/ECN parameters shared by all switches of one experiment."""
+
+    __slots__ = (
+        "n_queues",
+        "buffer_bytes",
+        "headroom_per_port_per_prio",
+        "n_lossless",
+        "ideal_headroom",
+        "dt_alpha",
+        "pfc",
+        "ecn_k_bytes",
+    )
+
+    def __init__(
+        self,
+        n_queues: int = 8,
+        buffer_bytes: int = 32 * 1024 * 1024,
+        headroom_per_port_per_prio: int = 50 * 1024,
+        n_lossless: Optional[int] = None,
+        ideal_headroom: bool = False,
+        dt_alpha: float = 1.0,
+        pfc: Optional[PfcConfig] = None,
+        ecn_k_bytes: Optional[int] = None,
+    ):
+        self.n_queues = n_queues
+        self.buffer_bytes = buffer_bytes
+        self.headroom_per_port_per_prio = headroom_per_port_per_prio
+        #: number of priorities configured lossless (defaults to all queues)
+        self.n_lossless = n_lossless if n_lossless is not None else n_queues
+        #: Physical* from the paper: headroom does not consume chip buffer
+        self.ideal_headroom = ideal_headroom
+        self.dt_alpha = dt_alpha
+        self.pfc = pfc if pfc is not None else PfcConfig()
+        self.ecn_k_bytes = ecn_k_bytes
+
+
+class Switch:
+    """A shared-buffer switch.
+
+    Ports are added by the topology builder via :meth:`add_port`; ingress
+    bookkeeping (which upstream egress port feeds ingress ``i``) is registered
+    via :meth:`register_ingress` so PFC signals can be sent back upstream.
+    """
+
+    def __init__(self, sim: Simulator, node_id: int, cfg: SwitchConfig, name: str = ""):
+        self.sim = sim
+        self.node_id = node_id
+        self.cfg = cfg
+        self.name = name or f"switch{node_id}"
+        self.ports: List[Port] = []
+        self._ingress_peer: List[Optional[Port]] = []
+        self._ingress_delay: List[int] = []
+        #: dst node id -> list of candidate egress port indices (ECMP)
+        self.routes: Dict[int, List[int]] = {}
+        self.buffer: Optional[SharedBuffer] = None
+        self._pfc: Dict[Tuple[int, int], PfcIngressState] = {}
+        self.drops = 0
+        self.forwarded = 0
+
+    # ------------------------------------------------------------------
+    # topology wiring
+    # ------------------------------------------------------------------
+    def add_port(self, rate_bps: float) -> int:
+        idx = len(self.ports)
+        port = Port(
+            self.sim,
+            rate_bps,
+            n_queues=self.cfg.n_queues,
+            ecn_k=self.cfg.ecn_k_bytes,
+            name=f"{self.name}.p{idx}",
+            stamp_int=True,
+        )
+        port.on_dequeue = self._on_port_dequeue
+        self.ports.append(port)
+        self._ingress_peer.append(None)
+        self._ingress_delay.append(0)
+        return idx
+
+    def register_ingress(self, in_idx: int, upstream_port: Port, prop_delay_ns: int) -> None:
+        self._ingress_peer[in_idx] = upstream_port
+        self._ingress_delay[in_idx] = int(prop_delay_ns)
+
+    def finalize(self) -> None:
+        """Size the buffer once the port count is known."""
+        cfg = self.cfg
+        if cfg.pfc.enabled and not cfg.ideal_headroom:
+            headroom = cfg.headroom_per_port_per_prio * len(self.ports) * cfg.n_lossless
+            # headroom may starve the shared pool (the paper's §2.2 concern);
+            # only a small floor is guaranteed so the chip stays functional
+            floor = min(128 * 1024, cfg.buffer_bytes // 4)
+            headroom = min(headroom, cfg.buffer_bytes - floor)
+        else:
+            headroom = 0
+        # Physical* still needs headroom capacity to absorb post-PAUSE data,
+        # it just doesn't subtract it from the shared pool: model that as an
+        # extra pool on top of the chip buffer.
+        if cfg.pfc.enabled and cfg.ideal_headroom:
+            self.buffer = SharedBuffer(cfg.buffer_bytes, 0, cfg.dt_alpha)
+            extra = cfg.headroom_per_port_per_prio * len(self.ports) * cfg.n_lossless
+            self.buffer.headroom_capacity = extra
+        else:
+            self.buffer = SharedBuffer(cfg.buffer_bytes, headroom, cfg.dt_alpha)
+
+    # ------------------------------------------------------------------
+    # data path
+    # ------------------------------------------------------------------
+    def receive(self, pkt: Packet, in_idx: int) -> None:
+        routes = self.routes.get(pkt.dst)
+        if not routes:
+            raise RuntimeError(f"{self.name}: no route to node {pkt.dst}")
+        if len(routes) == 1:
+            out_idx = routes[0]
+        else:
+            out_idx = routes[ecmp_hash(pkt.flow_id, self.node_id, pkt.hash_salt) % len(routes)]
+        port = self.ports[out_idx]
+
+        buf = self.buffer
+        from_headroom = False
+        if not buf.try_admit_shared(port.qbytes[pkt.priority], pkt.size):
+            if (
+                self.cfg.pfc.enabled
+                and pkt.priority < self.cfg.n_lossless
+                and buf.try_admit_headroom(pkt.size)
+            ):
+                from_headroom = True
+            else:
+                buf.record_drop()
+                self.drops += 1
+                return
+        if self.cfg.pfc.enabled and pkt.priority < self.cfg.n_lossless:
+            self._pfc_state(in_idx, pkt.priority).on_enqueue(pkt.size)
+        self.forwarded += 1
+        port.enqueue(pkt, (in_idx, from_headroom))
+
+    def _on_port_dequeue(self, pkt: Packet, ctx: Tuple[int, bool]) -> None:
+        in_idx, from_headroom = ctx
+        self.buffer.release(pkt.size, from_headroom)
+        if self.cfg.pfc.enabled and pkt.priority < self.cfg.n_lossless:
+            self._pfc_state(in_idx, pkt.priority).on_dequeue(pkt.size)
+
+    # ------------------------------------------------------------------
+    # PFC
+    # ------------------------------------------------------------------
+    def _pfc_state(self, in_idx: int, prio: int) -> PfcIngressState:
+        key = (in_idx, prio)
+        state = self._pfc.get(key)
+        if state is None:
+            state = PfcIngressState(
+                self.sim,
+                self.cfg.pfc,
+                self.buffer,
+                self._make_signal_sender(in_idx, prio),
+            )
+            self._pfc[key] = state
+        return state
+
+    def _make_signal_sender(self, in_idx: int, prio: int):
+        upstream = self._ingress_peer[in_idx]
+        delay = self._ingress_delay[in_idx]
+
+        def send(paused: bool) -> None:
+            if upstream is not None:
+                self.sim.after(delay, upstream.set_paused, prio, paused)
+
+        return send
+
+    # ------------------------------------------------------------------
+    def pfc_pause_count(self) -> int:
+        return sum(s.pauses_sent for s in self._pfc.values())

@@ -1,0 +1,5 @@
+"""Topology builders for the paper's evaluation scenarios."""
+
+from .builders import fat_tree, leaf_spine, multi_rack, star
+
+__all__ = ["star", "fat_tree", "leaf_spine", "multi_rack"]

@@ -1,0 +1,139 @@
+"""Topology builders for every scenario in the paper's evaluation (§6).
+
+* :func:`star` — N senders, one receiver, one bottleneck switch port
+  (micro-benchmarks, §3 and §6.1; also the Fig 8 testbed tree).
+* :func:`fat_tree` — standard k-ary fat-tree (flow-scheduling scenario).
+* :func:`leaf_spine` — leaf/spine with a configurable oversubscription
+  ratio (ML-training scenario, CASSINI-style).
+* :func:`multi_rack` — hosts under ToRs joined by a non-blocking core with
+  faster inter-switch links (coflow scenario: 100 G host links, 400 G core).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..sim.engine import Simulator
+from ..sim.host import Host
+from ..sim.network import Network
+from ..sim.switch import SwitchConfig
+
+__all__ = ["star", "fat_tree", "leaf_spine", "multi_rack"]
+
+
+def star(
+    sim: Simulator,
+    n_senders: int,
+    rate_bps: float = 100e9,
+    link_delay_ns: int = 1_000,
+    switch_cfg: Optional[SwitchConfig] = None,
+    receiver_delay_ns: Optional[int] = None,
+) -> Tuple[Network, List[Host], Host]:
+    """N senders -> one switch -> one receiver (the bottleneck port).
+
+    With the paper's micro-benchmark parameters (100 Gbps, per-hop 3 µs the
+    base RTT lands near the typical 12 µs datacenter figure).
+    """
+    net = Network(sim, switch_cfg or SwitchConfig())
+    sw = net.add_switch(name="bottleneck")
+    senders = [net.add_host(name=f"s{i}") for i in range(n_senders)]
+    receiver = net.add_host(name="recv")
+    for host in senders:
+        net.connect(host, sw, rate_bps, link_delay_ns)
+    net.connect(receiver, sw, rate_bps, receiver_delay_ns or link_delay_ns)
+    net.build_routes()
+    return net, senders, receiver
+
+
+def fat_tree(
+    sim: Simulator,
+    k: int = 4,
+    rate_bps: float = 100e9,
+    link_delay_ns: int = 1_000,
+    switch_cfg: Optional[SwitchConfig] = None,
+) -> Tuple[Network, List[Host]]:
+    """Standard k-ary fat-tree: (k/2)^2 cores, k pods, (k/2)^2 hosts per pod."""
+    if k % 2 != 0 or k < 2:
+        raise ValueError("fat-tree k must be even and >= 2")
+    half = k // 2
+    net = Network(sim, switch_cfg or SwitchConfig())
+    cores = [[net.add_switch(name=f"core{i}_{j}") for j in range(half)] for i in range(half)]
+    hosts: List[Host] = []
+    for pod in range(k):
+        aggs = [net.add_switch(name=f"agg{pod}_{a}") for a in range(half)]
+        edges = [net.add_switch(name=f"edge{pod}_{e}") for e in range(half)]
+        for a, agg in enumerate(aggs):
+            for edge in edges:
+                net.connect(agg, edge, rate_bps, link_delay_ns)
+            for j in range(half):
+                net.connect(cores[a][j], agg, rate_bps, link_delay_ns)
+        for edge in edges:
+            for h in range(half):
+                host = net.add_host(name=f"h{pod}_{edges.index(edge)}_{h}")
+                hosts.append(host)
+                net.connect(host, edge, rate_bps, link_delay_ns)
+    net.build_routes()
+    return net, hosts
+
+
+def leaf_spine(
+    sim: Simulator,
+    n_leaves: int = 4,
+    hosts_per_leaf: int = 6,
+    n_spines: int = 3,
+    host_rate_bps: float = 100e9,
+    oversubscription: float = 2.0,
+    link_delay_ns: int = 1_000,
+    switch_cfg: Optional[SwitchConfig] = None,
+) -> Tuple[Network, List[Host]]:
+    """Leaf-spine with a downlink:uplink capacity ratio of ``oversubscription``.
+
+    The ML-training scenario (§6.2) uses 24 servers at 100 Gbps with a 2:1
+    subscription ratio, i.e. 4 leaves x 6 hosts and uplink capacity equal to
+    half the downlink capacity per leaf.
+    """
+    net = Network(sim, switch_cfg or SwitchConfig())
+    spines = [net.add_switch(name=f"spine{s}") for s in range(n_spines)]
+    hosts: List[Host] = []
+    uplink_total = hosts_per_leaf * host_rate_bps / oversubscription
+    uplink_rate = uplink_total / n_spines
+    for l in range(n_leaves):
+        leaf = net.add_switch(name=f"leaf{l}")
+        for s in spines:
+            net.connect(leaf, s, uplink_rate, link_delay_ns)
+        for h in range(hosts_per_leaf):
+            host = net.add_host(name=f"h{l}_{h}")
+            hosts.append(host)
+            net.connect(host, leaf, host_rate_bps, link_delay_ns)
+    net.build_routes()
+    return net, hosts
+
+
+def multi_rack(
+    sim: Simulator,
+    n_racks: int = 5,
+    hosts_per_rack: int = 8,
+    host_rate_bps: float = 100e9,
+    core_rate_bps: float = 400e9,
+    link_delay_ns: int = 1_000,
+    switch_cfg: Optional[SwitchConfig] = None,
+    core_count: Optional[int] = None,
+) -> Tuple[Network, List[Host]]:
+    """Non-blocking multi-rack fabric (coflow scenario: 5 pods, 400 G core)."""
+    net = Network(sim, switch_cfg or SwitchConfig())
+    if core_count is None:
+        # enough core links to keep the fabric non-blocking
+        need = hosts_per_rack * host_rate_bps
+        core_count = max(1, int(-(-need // core_rate_bps)))
+    cores = [net.add_switch(name=f"core{c}") for c in range(core_count)]
+    hosts: List[Host] = []
+    for r in range(n_racks):
+        tor = net.add_switch(name=f"tor{r}")
+        for c in cores:
+            net.connect(tor, c, core_rate_bps, link_delay_ns)
+        for h in range(hosts_per_rack):
+            host = net.add_host(name=f"h{r}_{h}")
+            hosts.append(host)
+            net.connect(host, tor, host_rate_bps, link_delay_ns)
+    net.build_routes()
+    return net, hosts

@@ -1,0 +1,7 @@
+"""Reliable windowed transport driven by pluggable congestion control."""
+
+from .flow import AckInfo, Flow
+from .receiver import FlowReceiver
+from .sender import DEFAULT_MTU, FlowSender
+
+__all__ = ["Flow", "AckInfo", "FlowReceiver", "FlowSender", "DEFAULT_MTU"]

@@ -1,0 +1,70 @@
+"""Receiver endpoint: per-packet ACKs, probe echoes, completion detection."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.engine import Simulator
+from ..sim.packet import ACK, DATA, MIN_PACKET_BYTES, PROBE, PROBE_ACK, Packet
+from .flow import Flow
+
+__all__ = ["FlowReceiver"]
+
+
+class FlowReceiver:
+    """Receives one flow's data at its destination host.
+
+    Emits one ACK per data packet.  The ACK echoes the data packet's send
+    timestamp (for sender-side RTT), its ECN mark, and any INT telemetry, and
+    carries a cumulative sequence number (lowest packet index not yet
+    received) so the sender can fast-retransmit holes.
+    """
+
+    __slots__ = ("sim", "flow", "host", "n_packets", "received", "rx_count", "cum_seq", "ack_priority", "on_complete")
+
+    def __init__(self, sim: Simulator, flow: Flow, n_packets: int, ack_priority: int):
+        self.sim = sim
+        self.flow = flow
+        self.host = flow.dst
+        self.n_packets = n_packets
+        self.received = bytearray(n_packets)
+        self.rx_count = 0
+        self.cum_seq = 0
+        self.ack_priority = ack_priority
+        self.on_complete = None
+
+    def on_packet(self, pkt: Packet) -> None:
+        if pkt.kind == PROBE:
+            self._echo(pkt, PROBE_ACK)
+            return
+        if pkt.kind != DATA:  # pragma: no cover - host dispatch guarantees this
+            raise RuntimeError(f"receiver got unexpected packet kind {pkt.kind}")
+        seq = pkt.seq
+        if not self.received[seq]:
+            self.received[seq] = 1
+            self.rx_count += 1
+            while self.cum_seq < self.n_packets and self.received[self.cum_seq]:
+                self.cum_seq += 1
+            if self.rx_count == self.n_packets and self.flow.completion_ns is None:
+                self.flow.completion_ns = self.sim.now
+                if self.on_complete is not None:
+                    self.on_complete(self.flow)
+        self._echo(pkt, ACK)
+
+    def _echo(self, pkt: Packet, kind: int) -> None:
+        ack = Packet(
+            kind,
+            MIN_PACKET_BYTES,
+            src=self.host.node_id,
+            dst=pkt.src,
+            flow_id=pkt.flow_id,
+            seq=pkt.seq,
+            priority=self.ack_priority,
+            send_ts=self.sim.now,
+        )
+        ack.local_prio = self.host.local_ack_queue()
+        ack.echo_ts = pkt.send_ts
+        ack.ecn_echo = pkt.ecn
+        ack.int_hops = pkt.int_hops
+        ack.ack_seq = self.cum_seq
+        self.host.send(ack)

@@ -1,0 +1,371 @@
+"""Windowed, reliable flow sender.
+
+The sender owns the congestion window supplied by a pluggable congestion
+control object, per-packet ACK processing (with sender-side delay
+measurement plus additive noise), pacing for sub-MTU windows, fast
+retransmit via cumulative-ACK duplicates, RTO recovery, and the
+probe/stop/resume hooks PrioPlus needs (§4.2.1 of the paper).
+
+Delay normalisation: probes are 64-byte frames and therefore have a smaller
+unloaded RTT than MTU data packets.  All delays handed to the CC are
+normalised to *data-packet equivalents* so one set of channel thresholds
+applies to both (see ``_probe_base_adjust``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from ..sim.engine import Simulator
+from ..sim.network import Network
+from ..sim.packet import ACK, DATA, HEADER_BYTES, MIN_PACKET_BYTES, PROBE, PROBE_ACK, Packet
+from .flow import AckInfo, Flow
+from .receiver import FlowReceiver
+
+__all__ = ["FlowSender", "DEFAULT_MTU"]
+
+#: Default payload bytes per packet (the paper's footnote 5 assumes 1 KB MTU).
+DEFAULT_MTU = 1000
+
+_DUP_THRESH = 3
+
+
+class FlowSender:
+    """Sends one flow from its source host, driven by a CC object."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        net: Network,
+        flow: Flow,
+        cc,
+        mtu: int = DEFAULT_MTU,
+        ack_priority: Optional[int] = None,
+        noise=None,
+        rto_ns: Optional[int] = None,
+        on_done: Optional[Callable[[Flow], None]] = None,
+        on_receive_done: Optional[Callable[[Flow], None]] = None,
+    ):
+        self.sim = sim
+        self.net = net
+        self.flow = flow
+        self.cc = cc
+        self.mtu = mtu
+        self.noise = noise
+        self.on_done = on_done
+
+        self.n_packets = (flow.size_bytes + mtu - 1) // mtu
+        self._last_payload = flow.size_bytes - (self.n_packets - 1) * mtu
+
+        src, dst = flow.src, flow.dst
+        if ack_priority is None:
+            ack_priority = src.n_queues - 1
+        self.ack_priority = ack_priority
+        data_wire = mtu + HEADER_BYTES
+        self.base_rtt = net.base_rtt_ns(src, dst, data_wire, MIN_PACKET_BYTES)
+        probe_rtt = net.base_rtt_ns(src, dst, MIN_PACKET_BYTES, MIN_PACKET_BYTES)
+        self._probe_base_adjust = self.base_rtt - probe_rtt
+        self.line_rate_bps = net.bottleneck_rate_bps(src, dst)
+        self.bdp_bytes = self.line_rate_bps * self.base_rtt / 8e9
+        self.rto_ns = rto_ns if rto_ns is not None else max(16 * self.base_rtt, 500_000)
+
+        # reliability state
+        self.sent = bytearray(self.n_packets)
+        self.acked = bytearray(self.n_packets)
+        self.acked_count = 0
+        self.acked_payload = 0
+        self.next_new_seq = 0
+        self.inflight_bytes = 0
+        self._retx_queue: deque = deque()
+        self._retx_pending = set()
+        self._cum_watch = 0
+        self._dup = 0
+        self._retx_scan = 0
+
+        # control state
+        self.stopped = False
+        self.completed = False
+        self.last_rtt = self.base_rtt
+        self.next_send_time = 0
+        self._pace_ev = None
+        self._rto_ev = None
+        self._last_activity = 0
+        self._probe_ev = None
+        self.probe_outstanding = False
+
+        # wire up endpoints
+        src.senders[flow.flow_id] = self
+        self.receiver = FlowReceiver(sim, flow, self.n_packets, ack_priority)
+        if on_receive_done is not None:
+            self.receiver.on_complete = on_receive_done
+        dst.receivers[flow.flow_id] = self.receiver
+
+        cc.attach(self)
+        sim.at(max(flow.start_ns, sim.now), self._start)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _start(self) -> None:
+        self.cc.on_start()
+        self.try_send()
+
+    def _finish(self) -> None:
+        self.completed = True
+        self.flow.sender_done_ns = self.sim.now
+        for ev_name in ("_pace_ev", "_rto_ev", "_probe_ev"):
+            ev = getattr(self, ev_name)
+            if ev is not None:
+                ev.cancel()
+                setattr(self, ev_name, None)
+        if self.on_done is not None:
+            self.on_done(self.flow)
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+    def payload_of(self, seq: int) -> int:
+        return self._last_payload if seq == self.n_packets - 1 else self.mtu
+
+    def _peek_next_seq(self) -> Optional[int]:
+        while self._retx_queue:
+            seq = self._retx_queue[0]
+            if self.acked[seq]:
+                self._retx_queue.popleft()
+                self._retx_pending.discard(seq)
+                continue
+            return seq
+        if self.next_new_seq < self.n_packets:
+            return self.next_new_seq
+        return None
+
+    def try_send(self) -> None:
+        """Send as much as window/pacing allow right now."""
+        if self.stopped or self.completed:
+            return
+        sim = self.sim
+        while True:
+            seq = self._peek_next_seq()
+            if seq is None:
+                return
+            payload = self.payload_of(seq)
+            cwnd = self.cc.cwnd
+            if cwnd >= self.mtu:
+                if self.inflight_bytes + payload > cwnd:
+                    return
+            else:
+                # sub-MTU window: at most one packet in flight, rate-paced
+                if self.inflight_bytes > 0:
+                    return
+                if sim.now < self.next_send_time:
+                    self._arm_pace(self.next_send_time)
+                    return
+            self._send_seq(seq)
+            if cwnd < self.mtu:
+                gap = int(self.last_rtt * self.mtu / max(cwnd, 1.0))
+                self.next_send_time = sim.now + gap
+
+    def _send_seq(self, seq: int) -> None:
+        if self._retx_queue and self._retx_queue[0] == seq:
+            self._retx_queue.popleft()
+            self._retx_pending.discard(seq)
+            self.flow.retransmits += 1
+        else:
+            self.next_new_seq = seq + 1
+        payload = self.payload_of(seq)
+        pkt = Packet(
+            DATA,
+            payload + HEADER_BYTES,
+            src=self.flow.src.node_id,
+            dst=self.flow.dst.node_id,
+            flow_id=self.flow.flow_id,
+            seq=seq,
+            priority=self.flow.priority,
+            payload=payload,
+            send_ts=self.sim.now,
+        )
+        pkt.local_prio = self.flow.src.local_data_queue(self.flow.vpriority)
+        if getattr(self.cc, "needs_int", False):
+            pkt.int_hops = []
+        if not self.sent[seq]:
+            self.sent[seq] = 1
+            self.inflight_bytes += payload
+        if self.flow.first_tx_ns is None:
+            self.flow.first_tx_ns = self.sim.now
+        self.flow.src.send(pkt)
+        self._arm_rto()
+
+    def _arm_pace(self, when: int) -> None:
+        if self._pace_ev is not None:
+            self._pace_ev.cancel()
+        self._pace_ev = self.sim.at(when, self._pace_fire)
+
+    def _pace_fire(self) -> None:
+        self._pace_ev = None
+        self.try_send()
+
+    # ------------------------------------------------------------------
+    # receiving ACKs / probe echoes
+    # ------------------------------------------------------------------
+    def on_packet(self, pkt: Packet) -> None:
+        if self.completed:
+            return
+        raw_delay = self.sim.now - pkt.echo_ts
+        if pkt.kind == PROBE_ACK:
+            delay = raw_delay + self._probe_base_adjust
+        else:
+            delay = raw_delay
+        if self.noise is not None:
+            delay += self.noise.sample(self.sim.rng)
+        self.last_rtt = delay
+
+        if pkt.kind == PROBE_ACK:
+            self.probe_outstanding = False
+            self._disarm_rto_if_idle()
+            info = AckInfo(self.sim.now, delay, pkt.ecn_echo, 0, pkt.seq, pkt.int_hops, is_probe=True)
+            self.cc.on_probe_ack(info)
+            return
+
+        seq = pkt.seq
+        newly = 0
+        if not self.acked[seq]:
+            self.acked[seq] = 1
+            self.acked_count += 1
+            newly = self.payload_of(seq)
+            self.inflight_bytes -= newly
+            self.acked_payload += newly
+        self._fast_retx_check(pkt)
+        info = AckInfo(
+            self.sim.now, delay, pkt.ecn_echo, newly, seq, pkt.int_hops, cum_seq=pkt.ack_seq
+        )
+        self.cc.on_ack(info)
+        if self.acked_count == self.n_packets:
+            self._finish()
+            return
+        self._arm_rto()
+        self.try_send()
+
+    def _fast_retx_check(self, pkt: Packet) -> None:
+        cum = pkt.ack_seq
+        if cum > self._cum_watch:
+            self._cum_watch = cum
+            self._dup = 0
+            return
+        if (
+            cum == self._cum_watch
+            and pkt.seq > cum
+            and cum < self.n_packets
+            and self.sent[cum]
+            and not self.acked[cum]
+        ):
+            self._dup += 1
+            if self._dup == _DUP_THRESH:
+                self._queue_retx(cum)
+
+    def _queue_retx(self, seq: int) -> None:
+        if seq in self._retx_pending or self.acked[seq]:
+            return
+        self._retx_pending.add(seq)
+        self._retx_queue.append(seq)
+
+    # ------------------------------------------------------------------
+    # RTO (lazy re-arm: the timer fires, checks recent activity, and only
+    # acts when the flow has really been silent for a full RTO — this avoids
+    # a cancel+reschedule pair of heap operations on every ACK)
+    # ------------------------------------------------------------------
+    def _arm_rto(self) -> None:
+        self._last_activity = self.sim.now
+        if self._rto_ev is None:
+            self._rto_ev = self.sim.after(self.rto_ns, self._on_rto)
+
+    def _disarm_rto_if_idle(self) -> None:
+        if self.inflight_bytes == 0 and not self.probe_outstanding and self._rto_ev is not None:
+            self._rto_ev.cancel()
+            self._rto_ev = None
+
+    def _on_rto(self) -> None:
+        self._rto_ev = None
+        if self.completed:
+            return
+        since = self.sim.now - self._last_activity
+        if since < self.rto_ns:
+            self._rto_ev = self.sim.after(self.rto_ns - since, self._on_rto)
+            return
+        if self.probe_outstanding:
+            self.probe_outstanding = False
+            self._send_probe()
+            return
+        if self.inflight_bytes == 0 and not self.stopped:
+            # nothing outstanding: just resume sending
+            self.try_send()
+            return
+        # retransmit the lowest sent-but-unacked packet
+        while self._retx_scan < self.n_packets and self.acked[self._retx_scan]:
+            self._retx_scan += 1
+        if self._retx_scan < self.n_packets and self.sent[self._retx_scan]:
+            self.cc.on_timeout()
+            self._queue_retx(self._retx_scan)
+            if not self.stopped:
+                self._send_seq_force(self._retx_scan)
+        self._arm_rto()
+
+    def _send_seq_force(self, seq: int) -> None:
+        """Retransmit immediately, bypassing the window check."""
+        if self._retx_queue and seq in self._retx_pending:
+            # move it to the front so _send_seq pops it
+            if self._retx_queue[0] != seq:
+                self._retx_queue.remove(seq)
+                self._retx_queue.appendleft(seq)
+            self._send_seq(seq)
+
+    # ------------------------------------------------------------------
+    # PrioPlus hooks
+    # ------------------------------------------------------------------
+    def stop_sending(self) -> None:
+        """Halt data transmission (in-flight packets keep draining)."""
+        self.stopped = True
+        if self._pace_ev is not None:
+            self._pace_ev.cancel()
+            self._pace_ev = None
+
+    def resume_sending(self) -> None:
+        self.stopped = False
+        if not self.completed:
+            self.try_send()
+
+    def send_probe_after(self, delay_ns: int) -> None:
+        """Schedule a single probe packet (replacing any pending one)."""
+        if self._probe_ev is not None:
+            self._probe_ev.cancel()
+        self._probe_ev = self.sim.after(max(0, int(delay_ns)), self._send_probe)
+
+    def _send_probe(self) -> None:
+        self._probe_ev = None
+        if self.completed:
+            return
+        pkt = Packet(
+            PROBE,
+            MIN_PACKET_BYTES,
+            src=self.flow.src.node_id,
+            dst=self.flow.dst.node_id,
+            flow_id=self.flow.flow_id,
+            seq=0,
+            priority=self.flow.priority,
+            send_ts=self.sim.now,
+        )
+        pkt.local_prio = self.flow.src.local_data_queue(self.flow.vpriority)
+        self.probe_outstanding = True
+        self.flow.probes_sent += 1
+        self.flow.src.send(pkt)
+        self._arm_rto()
+
+    # ------------------------------------------------------------------
+    @property
+    def snd_nxt(self) -> int:
+        """Next new packet index (Algorithm 1's sndNxt, packet-granular)."""
+        return self.next_new_seq
+
+    @property
+    def remaining_bytes(self) -> int:
+        return self.flow.size_bytes - self.acked_payload

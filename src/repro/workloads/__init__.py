@@ -1,0 +1,26 @@
+"""Workload generators: WebSearch, Poisson arrivals, incast, coflows."""
+
+from .coflow_trace import CoflowSpec, synthesize_coflows
+from .distributions import (ALI_STORAGE_CDF, HADOOP_CDF, WEBSEARCH_CDF,
+                            EmpiricalCdf, ali_storage, hadoop, websearch)
+from .generators import FlowSpec, file_requests, incast_flows, poisson_flows
+from .trace_io import TraceFormatError, load_trace, save_trace
+
+__all__ = [
+    "EmpiricalCdf",
+    "websearch",
+    "hadoop",
+    "ali_storage",
+    "WEBSEARCH_CDF",
+    "HADOOP_CDF",
+    "ALI_STORAGE_CDF",
+    "FlowSpec",
+    "poisson_flows",
+    "incast_flows",
+    "file_requests",
+    "CoflowSpec",
+    "synthesize_coflows",
+    "load_trace",
+    "save_trace",
+    "TraceFormatError",
+]

@@ -1,0 +1,83 @@
+"""Flow-trace file I/O.
+
+Interops with the whitespace-separated trace format used by the ns-3
+datacenter-CC community (HPCC/PrioPlus artifacts):
+
+    <n_flows>
+    <src> <dst> <priority> <size_bytes> <start_seconds>
+    ...
+
+plus round-tripping of this repo's own :class:`FlowSpec` lists, so measured
+workloads can be replayed against other simulators (or vice versa).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from .generators import FlowSpec
+
+__all__ = ["load_trace", "save_trace", "TraceFormatError"]
+
+
+class TraceFormatError(ValueError):
+    """Raised when a trace file does not parse."""
+
+
+def load_trace(path: Union[str, Path]) -> List[FlowSpec]:
+    """Parse an ns-3-style flow trace into :class:`FlowSpec` objects.
+
+    The priority column is preserved in ``spec.tag`` as ``("prio", p)`` so
+    the experiment layer may honour or re-derive it.
+    """
+    path = Path(path)
+    lines = [ln.strip() for ln in path.read_text().splitlines()]
+    lines = [ln for ln in lines if ln and not ln.startswith("#")]
+    if not lines:
+        raise TraceFormatError(f"{path}: empty trace")
+    try:
+        declared = int(lines[0])
+    except ValueError as exc:
+        raise TraceFormatError(f"{path}: first line must be the flow count") from exc
+    body = lines[1:]
+    if len(body) != declared:
+        raise TraceFormatError(
+            f"{path}: header declares {declared} flows but {len(body)} records follow"
+        )
+    specs: List[FlowSpec] = []
+    for lineno, ln in enumerate(body, start=2):
+        parts = ln.split()
+        if len(parts) != 5:
+            raise TraceFormatError(f"{path}:{lineno}: expected 5 fields, got {len(parts)}")
+        try:
+            src, dst, prio = int(parts[0]), int(parts[1]), int(parts[2])
+            size = int(parts[3])
+            start_s = float(parts[4])
+        except ValueError as exc:
+            raise TraceFormatError(f"{path}:{lineno}: malformed record {ln!r}") from exc
+        if src == dst:
+            raise TraceFormatError(f"{path}:{lineno}: src == dst")
+        if size <= 0 or start_s < 0:
+            raise TraceFormatError(f"{path}:{lineno}: non-positive size or negative start")
+        specs.append(FlowSpec(src, dst, size, int(start_s * 1e9), tag=("prio", prio)))
+    return specs
+
+
+def save_trace(
+    specs: Sequence[FlowSpec],
+    path: Union[str, Path],
+    priority_of: Optional[callable] = None,
+) -> None:
+    """Write specs in the ns-3-style format (start times in seconds)."""
+    path = Path(path)
+    rows = [str(len(specs))]
+    for s in specs:
+        if priority_of is not None:
+            prio = priority_of(s)
+        elif isinstance(s.tag, tuple) and len(s.tag) == 2 and s.tag[0] == "prio":
+            prio = s.tag[1]
+        else:
+            prio = 0
+        rows.append(f"{s.src_idx} {s.dst_idx} {prio} {s.size_bytes} {s.start_ns / 1e9:.9f}")
+    path.write_text("\n".join(rows) + "\n")

@@ -1,0 +1,141 @@
+"""Analysis-module tests: percentiles, FCT stats, theory results."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    FctStats,
+    buffer_bandwidth_ratios,
+    channel_width_ns,
+    group_by,
+    linear_start_is_optimal,
+    percentile,
+    potential_backlog,
+    size_class,
+    speedup,
+    start_strategy_costs,
+    summarize,
+    swift_fluctuation_ns,
+)
+from repro.transport.flow import Flow
+
+
+def test_percentile_basics():
+    xs = [1, 2, 3, 4, 5]
+    assert percentile(xs, 0) == 1
+    assert percentile(xs, 50) == 3
+    assert percentile(xs, 100) == 5
+    assert percentile(xs, 25) == 2.0
+    assert percentile([7], 99) == 7
+
+
+def test_percentile_errors():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1], 101)
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e9), min_size=1, max_size=50))
+@settings(max_examples=60, deadline=None)
+def test_property_percentile_bounded_and_monotone(xs):
+    assert min(xs) <= percentile(xs, 50) <= max(xs)
+    assert percentile(xs, 10) <= percentile(xs, 90)
+
+
+def test_fct_stats():
+    s = FctStats([100, 200, 300, 400])
+    assert s.count == 4
+    assert s.mean == 250
+    assert s.p50 == 250
+    assert s.max == 400
+    d = s.as_dict()
+    assert d["count"] == 4
+
+
+def test_summarize_and_grouping():
+    flows = []
+    for i, size in enumerate([100, 400_000, 10_000_000]):
+        f = Flow(i + 1, None, None, size, start_ns=0)
+        f.completion_ns = 1000 * (i + 1)
+        flows.append(f)
+    stats = summarize(flows)
+    assert stats.count == 3
+    groups = group_by(flows, lambda f: size_class(f.size_bytes))
+    assert set(groups) == {"small", "middle", "large"}
+
+
+def test_summarize_unfinished_raises():
+    f = Flow(1, None, None, 100)
+    with pytest.raises(RuntimeError):
+        summarize([f])
+
+
+def test_size_classes_match_paper_boundaries():
+    assert size_class(299_999) == "small"
+    assert size_class(300_000) == "middle"
+    assert size_class(5_999_999) == "middle"
+    assert size_class(6_000_000) == "large"
+
+
+def test_speedup():
+    assert speedup(200, 100) == 2.0
+    with pytest.raises(ValueError):
+        speedup(100, 0)
+
+
+# ----------------------------------------------------------------------
+# theory
+# ----------------------------------------------------------------------
+def test_table2_closed_forms():
+    c = start_strategy_costs(10)
+    assert c["linear"]["bytes_delayed_bdp"] == 5.0
+    assert c["linear"]["max_extra_buffer_bdp"] == 0.1
+    assert c["exponential"]["bytes_delayed_bdp"] == 8.5
+    with pytest.raises(ValueError):
+        start_strategy_costs(0.5)
+
+
+def test_linear_backlog_formula():
+    """For the linear ramp, b(a) = R*tau^2/(2T) independent of a."""
+    T, tau, R = 10.0, 1.0, 1.0
+    b = potential_backlog(lambda t: R * t / T, T, tau)
+    assert b == pytest.approx(R * tau * tau / (2 * T), rel=0.01)
+
+
+def test_linear_beats_exponential_and_step():
+    T, tau = 10.0, 1.0
+    linear = potential_backlog(lambda t: t / T, T, tau)
+    exponential = potential_backlog(lambda t: (2 ** (t / T * 6) - 1) / (2**6 - 1), T, tau)
+    convex = potential_backlog(lambda t: (t / T) ** 3, T, tau)
+    assert linear < exponential
+    assert linear < convex
+
+
+def test_theorem_4_1_numeric():
+    linear, best_alt = linear_start_is_optimal()
+    assert linear <= best_alt * 1.001
+
+
+def test_swift_fluctuation_monotone_in_flows_and_ai():
+    base = swift_fluctuation_ns(10, 150.0, 100e9, 20_000)
+    assert swift_fluctuation_ns(20, 150.0, 100e9, 20_000) >= base
+    assert swift_fluctuation_ns(10, 300.0, 100e9, 20_000) > base
+    with pytest.raises(ValueError):
+        swift_fluctuation_ns(0, 150.0, 100e9, 20_000)
+
+
+def test_channel_width_components():
+    step, margin = channel_width_ns(3200, 800)
+    assert step == 4000
+    assert margin == 2400
+
+
+def test_fig2_data_sane():
+    ratios = buffer_bandwidth_ratios()
+    years = [y for _, y, _ in ratios]
+    assert years == sorted(years)
+    newest = ratios[-1][2]
+    oldest = ratios[0][2]
+    assert newest < oldest

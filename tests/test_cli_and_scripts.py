@@ -1,0 +1,58 @@
+"""CLI (`python -m repro`) and packaging-surface tests."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+def test_list_experiments(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("fig8", "fig10b", "table2", "ecn-priority"):
+        assert name in out
+
+
+def test_no_args_lists(capsys):
+    assert main([]) == 0
+    assert "fig6" in capsys.readouterr().out
+
+
+def test_unknown_experiment(capsys):
+    assert main(["nope"]) == 2
+
+
+def test_run_fig6_via_cli(capsys):
+    assert main(["fig6"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["lag_rtts"] == 2.0
+
+
+def test_every_registered_experiment_is_callable():
+    for name, fn in EXPERIMENTS.items():
+        assert callable(fn), name
+
+
+def test_module_invocation_subprocess():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "--list"],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert result.returncode == 0
+    assert "fig3a" in result.stdout
+
+
+def test_public_api_surface():
+    import repro
+
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+    # extensions are importable through repro.core
+    from repro.core import EcnPriorityConfig, StartRampCC, WeightedPrioPlusCC  # noqa: F401
+
+    from repro.cc import Dcqcn, Timely  # noqa: F401

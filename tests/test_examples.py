@@ -1,0 +1,48 @@
+"""Every (fast) example script runs cleanly as a subprocess."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "custom_cc_integration.py",
+    "noise_calibration.py",
+    "queue_planning.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_all_examples_exist_and_have_docstrings():
+    scripts = sorted(EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 8
+    for script in scripts:
+        head = script.read_text().split("\n", 3)
+        assert head[0].startswith("#!"), f"{script.name}: missing shebang"
+        assert '"""' in head[1], f"{script.name}: missing module docstring"
+
+
+def test_link_failure_example_runs():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "link_failure.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "routes rebuilt" in result.stdout

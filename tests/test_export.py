@@ -1,0 +1,56 @@
+"""CSV export tests."""
+
+import csv
+
+import pytest
+
+from repro.analysis import flatten_result, write_rows_csv, write_series_csv
+
+
+def test_write_series_csv(tmp_path):
+    series = {"hi": [(1000, 5.0), (2000, 6.0)], "lo": [(1000, 1.0)]}
+    path = tmp_path / "out" / "series.csv"
+    n = write_series_csv(series, path)
+    assert n == 3
+    with path.open() as fh:
+        rows = list(csv.reader(fh))
+    assert rows[0] == ["key", "time_us", "value"]
+    assert rows[1] == ["hi", "1.0", "5.0"]
+    assert len(rows) == 4
+
+
+def test_write_rows_csv_union_header(tmp_path):
+    path = tmp_path / "rows.csv"
+    n = write_rows_csv([{"a": 1, "b": 2}, {"a": 3, "c": 4}], path)
+    assert n == 2
+    with path.open() as fh:
+        rows = list(csv.DictReader(fh))
+    assert rows[0]["a"] == "1"
+    assert rows[1]["c"] == "4"
+    assert rows[0]["c"] == ""
+
+
+def test_write_rows_csv_empty_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        write_rows_csv([], tmp_path / "x.csv")
+
+
+def test_flatten_result_nested():
+    flat = flatten_result({
+        "mode": "prioplus",
+        "fct": {"all": {"mean_us": 1.5}},
+        "takeover_us": [10, 20],
+        "weird": object(),
+    })
+    assert flat["mode"] == "prioplus"
+    assert flat["fct.all.mean_us"] == 1.5
+    assert flat["takeover_us.1"] == 20
+    assert isinstance(flat["weird"], str)
+
+
+def test_flatten_then_export_real_experiment(tmp_path):
+    from repro.experiments.fig6_dualrtt import run_fig6
+
+    flat = flatten_result(run_fig6())
+    n = write_rows_csv([flat], tmp_path / "fig6.csv")
+    assert n == 1

@@ -1,0 +1,77 @@
+"""Tests for the queue planner (§2.3 deployment vision)."""
+
+import pytest
+
+from repro.core.planner import PlanError, QueuePlan, TrafficClass, plan_queues
+
+
+def test_basic_plan():
+    plan = plan_queues([
+        TrafficClass("bulk", n_virtual_priorities=8, expected_flows=150),
+        TrafficClass("rpc", n_virtual_priorities=4, expected_flows=50),
+        TrafficClass("control", n_virtual_priorities=1),
+    ])
+    assert plan.n_physical_queues == 4  # 3 classes + ACK
+    assert plan.physical_queue_of["bulk"] == 0
+    assert plan.physical_queue_of["control"] == 2
+    assert plan.ack_queue == 3
+    assert plan.channels_of["control"] is None
+    assert plan.channels_of["bulk"].n_priorities == 8
+    desc = plan.describe()
+    assert "bulk" in desc and "virtual priorities" in desc
+
+
+def test_channel_width_scales_with_flow_count():
+    few = plan_queues([TrafficClass("a", 4, expected_flows=10)])
+    many = plan_queues([TrafficClass("a", 4, expected_flows=1000)])
+    assert many.channels_of["a"].fluctuation_ns > few.channels_of["a"].fluctuation_ns
+
+
+def test_physical_budget_enforced():
+    classes = [TrafficClass(f"c{i}") for i in range(8)]
+    with pytest.raises(PlanError):
+        plan_queues(classes)  # 8 classes + ACK = 9 > 8
+    plan = plan_queues(classes[:7])
+    assert plan.n_physical_queues == 8
+
+
+def test_slo_violation_detected():
+    with pytest.raises(PlanError):
+        plan_queues([
+            TrafficClass("latency", n_virtual_priorities=12, expected_flows=500,
+                         max_added_delay_ns=10_000),
+        ])
+    # relaxing the SLO makes it plannable
+    plan = plan_queues([
+        TrafficClass("latency", n_virtual_priorities=12, expected_flows=500,
+                     max_added_delay_ns=2_000_000),
+    ])
+    assert plan.channels_of["latency"] is not None
+
+
+def test_duplicate_and_empty_rejected():
+    with pytest.raises(PlanError):
+        plan_queues([])
+    with pytest.raises(PlanError):
+        plan_queues([TrafficClass("x"), TrafficClass("x")])
+
+
+def test_class_validation():
+    with pytest.raises(ValueError):
+        TrafficClass("x", n_virtual_priorities=0)
+    with pytest.raises(ValueError):
+        TrafficClass("x", expected_flows=0)
+
+
+def test_planned_channels_are_usable():
+    """The planner's output drops straight into PrioPlusCC."""
+    from repro.cc import Swift, SwiftParams
+    from repro.core import PrioPlusCC, StartTier
+    from tests.helpers import FakeSender
+
+    plan = plan_queues([TrafficClass("bulk", n_virtual_priorities=6, expected_flows=100)])
+    cfg = plan.channels_of["bulk"]
+    cc = PrioPlusCC(Swift(SwiftParams(target_scaling=False)), cfg, vpriority=6,
+                    tier=StartTier.MEDIUM)
+    cc.attach(FakeSender())
+    assert cc.d_limit > cc.d_target

@@ -1,0 +1,119 @@
+"""Tests for the experiment-layer helpers: samplers, launch, factories."""
+
+import pytest
+
+from repro.cc.swift import Swift, SwiftParams
+from repro.core import ChannelConfig, StartTier
+from repro.experiments.common import (
+    CCFactory,
+    DelaySampler,
+    Mode,
+    RateSampler,
+    launch_specs,
+    run_until_flows_done,
+)
+from repro.sim.engine import Simulator
+from repro.sim.switch import SwitchConfig
+from repro.topology import star
+from repro.transport.flow import Flow
+from repro.transport.sender import FlowSender
+from repro.workloads import FlowSpec
+
+
+def _setup(n=2):
+    sim = Simulator(1)
+    cfg = SwitchConfig(n_queues=2, buffer_bytes=8 * 1024 * 1024)
+    net, senders, recv = star(sim, n, rate_bps=10e9, link_delay_ns=1000, switch_cfg=cfg)
+    return sim, net, senders, recv
+
+
+def test_rate_sampler_measures_goodput():
+    sim, net, senders, recv = _setup(1)
+    flow = Flow(1, senders[0], recv, 500_000)
+    s = FlowSender(sim, net, flow, Swift())
+    sampler = RateSampler(sim, [s], key=lambda s: "f", interval_ns=50_000)
+    sim.run(until=1_000_000)
+    assert flow.done
+    series = sampler.series["f"]
+    # time-integral of the sampled rate recovers the flow size (tolerances
+    # for edge buckets)
+    total = sum(r * 50_000 / 8e9 for _, r in series)
+    assert total == pytest.approx(flow.size_bytes, rel=0.15)
+    # average near line rate while transmitting
+    assert sampler.average_rate_bps("f", 0, flow.completion_ns) > 0.5 * 10e9
+
+
+def test_delay_sampler_records_series():
+    sim, net, senders, recv = _setup(1)
+    flow = Flow(1, senders[0], recv, 300_000)
+    s = FlowSender(sim, net, flow, Swift())
+    d = DelaySampler(sim, s, interval_ns=20_000)
+    sim.run(until=500_000)
+    values = d.values()
+    assert len(values) > 5
+    assert all(v >= s.base_rtt * 0.9 for v in values)
+
+
+def test_launch_specs_binds_modes_and_groups():
+    sim, net, senders, recv = _setup(2)
+    hosts = senders + [recv]
+    fac = CCFactory(Mode.PRIOPLUS, n_priorities=4)
+    specs = [FlowSpec(0, 2, 50_000, 0, tag="a"), FlowSpec(1, 2, 50_000, 0, tag="b")]
+    flows, snds = launch_specs(sim, net, specs, hosts, fac, group_of=lambda s: 0 if s.tag == "a" else 3)
+    assert flows[0].vpriority == 4  # group 0 -> highest channel
+    assert flows[1].vpriority == 1
+    assert flows[0].priority == flows[1].priority == 0  # shared physical queue
+    ok = run_until_flows_done(sim, flows, 100_000_000)
+    assert ok
+
+
+def test_launch_specs_d2tcp_sets_deadlines():
+    sim, net, senders, recv = _setup(1)
+    hosts = senders + [recv]
+    fac = CCFactory(Mode.D2TCP, n_priorities=4)
+    specs = [FlowSpec(0, 1, 100_000, 1000)]
+    flows, _ = launch_specs(sim, net, specs, hosts, fac, group_of=lambda s: 0)
+    assert flows[0].deadline_ns is not None
+    assert flows[0].deadline_ns > 1000
+
+
+def test_factory_tier_defaults():
+    fac = CCFactory(Mode.PRIOPLUS, n_priorities=6)
+    assert fac.tier(0) == StartTier.HIGH
+    assert fac.tier(5) == StartTier.LOW
+    assert fac.tier(2) == StartTier.MEDIUM
+
+
+def test_factory_group_bounds():
+    fac = CCFactory(Mode.PRIOPLUS, n_priorities=4)
+    with pytest.raises(ValueError):
+        fac.data_priority(4)
+    with pytest.raises(ValueError):
+        fac.vpriority(-1)
+
+
+def test_factory_unknown_mode():
+    with pytest.raises(ValueError):
+        CCFactory("nonsense")
+
+
+def test_switch_config_per_mode():
+    pp = CCFactory(Mode.PRIOPLUS, n_priorities=8).switch_config()
+    assert pp.n_queues == 2
+    assert pp.ideal_headroom  # single-queue modes don't model headroom cost
+    phys = CCFactory(Mode.PHYSICAL, n_priorities=8).switch_config()
+    assert phys.n_queues == 9
+    assert not phys.ideal_headroom
+    hpcc = CCFactory(Mode.HPCC, n_priorities=8).switch_config()
+    assert hpcc.ecn_k_bytes is not None  # ECN configured for ECN modes
+    swift = CCFactory(Mode.SWIFT, n_priorities=8).switch_config()
+    assert swift.ecn_k_bytes is None
+
+
+def test_run_until_flows_done_deadline():
+    sim, net, senders, recv = _setup(1)
+    flow = Flow(1, senders[0], recv, 10_000_000_000)  # can never finish in time
+    FlowSender(sim, net, flow, Swift())
+    ok = run_until_flows_done(sim, [flow], hard_deadline_ns=200_000)
+    assert not ok
+    assert sim.now <= 210_000

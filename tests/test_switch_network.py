@@ -1,0 +1,181 @@
+"""Switch forwarding, routing, buffer/PFC integration, and Network math."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+from repro.sim.packet import DATA, HEADER_BYTES, MIN_PACKET_BYTES, Packet
+from repro.sim.pfc import PfcConfig
+from repro.sim.switch import SwitchConfig, ecmp_hash
+from repro.topology import fat_tree, leaf_spine, multi_rack, star
+
+
+def test_star_delivers_between_hosts():
+    sim = Simulator()
+    net = Network(sim, SwitchConfig(n_queues=2))
+    sw = net.add_switch()
+    h1 = net.add_host()
+    h2 = net.add_host()
+    net.connect(h1, sw, 10e9, 100)
+    net.connect(h2, sw, 10e9, 100)
+    net.build_routes()
+    p = Packet(DATA, 1000, src=h1.node_id, dst=h2.node_id, flow_id=1)
+    h1.send(p)
+    sim.run()
+    assert h2.rx_packets == 1
+
+
+def test_base_rtt_accounts_for_serialisation_and_propagation():
+    sim = Simulator()
+    net = Network(sim, SwitchConfig(n_queues=2))
+    sw = net.add_switch()
+    h1, h2 = net.add_host(), net.add_host()
+    net.connect(h1, sw, 8e9, 1000)  # 1 byte/ns
+    net.connect(h2, sw, 8e9, 1000)
+    net.build_routes()
+    rtt = net.base_rtt_ns(h1, h2, data_bytes=1000, ack_bytes=100)
+    # forward: 2 hops x (1000 prop + 1000 tx); reverse: 2 x (1000 + 100)
+    assert rtt == 2 * 2000 + 2 * 1100
+
+
+def test_bottleneck_rate():
+    sim = Simulator()
+    net = Network(sim, SwitchConfig(n_queues=2))
+    sw = net.add_switch()
+    h1, h2 = net.add_host(), net.add_host()
+    net.connect(h1, sw, 100e9, 100)
+    net.connect(h2, sw, 10e9, 100)
+    net.build_routes()
+    assert net.bottleneck_rate_bps(h1, h2) == 10e9
+
+
+def test_unroutable_packet_raises():
+    sim = Simulator()
+    net = Network(sim, SwitchConfig(n_queues=2))
+    sw = net.add_switch()
+    h1 = net.add_host()
+    net.connect(h1, sw, 10e9, 100)
+    net.build_routes()
+    p = Packet(DATA, 100, src=h1.node_id, dst=999, flow_id=1)
+    h1.send(p)
+    with pytest.raises(RuntimeError):
+        sim.run()
+
+
+def test_switch_drops_when_buffer_full_lossy():
+    sim = Simulator()
+    cfg = SwitchConfig(n_queues=2, buffer_bytes=3000, pfc=PfcConfig(enabled=False))
+    net = Network(sim, cfg)
+    sw = net.add_switch()
+    h1, h2 = net.add_host(), net.add_host()
+    net.connect(h1, sw, 100e9, 100)
+    net.connect(h2, sw, 1e9, 100)  # slow egress builds queue
+    net.build_routes()
+    for i in range(20):
+        h1.send(Packet(DATA, 1000, src=h1.node_id, dst=h2.node_id, flow_id=1, seq=i))
+    sim.run()
+    assert sw.drops > 0
+    assert h2.rx_packets + sw.drops == 20
+
+
+def test_pfc_prevents_drops_with_headroom():
+    sim = Simulator()
+    cfg = SwitchConfig(
+        n_queues=2,
+        buffer_bytes=64_000,
+        headroom_per_port_per_prio=8_000,
+        pfc=PfcConfig(enabled=True, xoff_bytes=4_000, dynamic=False),
+    )
+    net = Network(sim, cfg)
+    sw = net.add_switch()
+    h1, h2 = net.add_host(), net.add_host()
+    net.connect(h1, sw, 100e9, 100)
+    net.connect(h2, sw, 1e9, 100)
+    net.build_routes()
+    for i in range(40):
+        h1.send(Packet(DATA, 1000, src=h1.node_id, dst=h2.node_id, flow_id=1, seq=i))
+    sim.run()
+    assert sw.drops == 0
+    assert sw.pfc_pause_count() > 0
+    assert h2.rx_packets == 40
+
+
+def test_ideal_headroom_does_not_shrink_shared_pool():
+    sim = Simulator()
+    cfg = SwitchConfig(
+        n_queues=4, buffer_bytes=100_000, headroom_per_port_per_prio=10_000, ideal_headroom=True
+    )
+    net = Network(sim, cfg)
+    sw = net.add_switch()
+    h1, h2 = net.add_host(), net.add_host()
+    net.connect(h1, sw, 10e9, 100)
+    net.connect(h2, sw, 10e9, 100)
+    net.build_routes()
+    assert sw.buffer.shared_capacity == 100_000
+    assert sw.buffer.headroom_capacity > 0
+
+
+def test_real_headroom_shrinks_shared_pool():
+    sim = Simulator()
+    cfg = SwitchConfig(
+        n_queues=4, buffer_bytes=100_000, headroom_per_port_per_prio=10_000, n_lossless=2
+    )
+    net = Network(sim, cfg)
+    sw = net.add_switch()
+    h1, h2 = net.add_host(), net.add_host()
+    net.connect(h1, sw, 10e9, 100)
+    net.connect(h2, sw, 10e9, 100)
+    net.build_routes()
+    # 2 ports x 2 lossless x 10k = 40k headroom
+    assert sw.buffer.shared_capacity == 60_000
+
+
+def test_ecmp_hash_deterministic_and_spread():
+    a = ecmp_hash(1, 2)
+    assert a == ecmp_hash(1, 2)
+    values = {ecmp_hash(f, 7) % 4 for f in range(200)}
+    assert values == {0, 1, 2, 3}
+
+
+# ----------------------------------------------------------------------
+# topology builders
+# ----------------------------------------------------------------------
+def test_fat_tree_shape_k4():
+    sim = Simulator()
+    net, hosts = fat_tree(sim, k=4, rate_bps=10e9)
+    assert len(hosts) == 16
+    assert len(net.switches) == 4 + 4 * 4  # 4 cores + (2 agg + 2 edge) x 4 pods
+    # every host pair routable, same-pod and cross-pod
+    rtt_same = net.base_rtt_ns(hosts[0], hosts[1])
+    rtt_cross = net.base_rtt_ns(hosts[0], hosts[-1])
+    assert rtt_cross > rtt_same
+
+
+def test_fat_tree_rejects_odd_k():
+    with pytest.raises(ValueError):
+        fat_tree(Simulator(), k=3)
+
+
+def test_leaf_spine_oversubscription():
+    sim = Simulator()
+    net, hosts = leaf_spine(
+        sim, n_leaves=2, hosts_per_leaf=4, n_spines=2, host_rate_bps=100e9, oversubscription=2.0
+    )
+    assert len(hosts) == 8
+    # total uplink per leaf = 4 x 100G / 2 = 200G across 2 spines
+    cross = net.bottleneck_rate_bps(hosts[0], hosts[-1])
+    assert cross == pytest.approx(100e9)
+
+
+def test_multi_rack_routes_and_core_rate():
+    sim = Simulator()
+    net, hosts = multi_rack(sim, n_racks=2, hosts_per_rack=3, host_rate_bps=10e9, core_rate_bps=40e9)
+    assert len(hosts) == 6
+    assert net.bottleneck_rate_bps(hosts[0], hosts[3]) == 10e9
+
+
+def test_star_bottleneck_is_receiver_link():
+    sim = Simulator()
+    net, senders, recv = star(sim, 3, rate_bps=10e9)
+    for s in senders:
+        assert net.bottleneck_rate_bps(s, recv) == 10e9

@@ -1,0 +1,163 @@
+"""Telemetry-tracer tests and receiver edge cases (reordering, duplicates)."""
+
+import pytest
+
+from repro.analysis import PfcLogger, PortTracer, occupancy_stats
+from repro.cc.base import CongestionControl
+from repro.sim.engine import Simulator
+from repro.sim.packet import ACK, DATA, PROBE, PROBE_ACK, Packet
+from repro.sim.pfc import PfcConfig
+from repro.sim.switch import SwitchConfig
+from repro.topology import star
+from repro.transport.flow import Flow
+from repro.transport.receiver import FlowReceiver
+from repro.transport.sender import FlowSender
+
+
+# ----------------------------------------------------------------------
+# tracer
+# ----------------------------------------------------------------------
+def test_port_tracer_sees_queue_buildup():
+    sim = Simulator(1)
+    cfg = SwitchConfig(n_queues=2, buffer_bytes=8 * 1024 * 1024)
+    net, senders, recv = star(sim, 2, rate_bps=10e9, link_delay_ns=1000, switch_cfg=cfg)
+    sw = net.switches[0]
+    bottleneck = net.path_ports(senders[0], recv)[-1]
+    tracer = PortTracer(sim, bottleneck, interval_ns=5_000)
+    for i in range(2):
+        f = Flow(i + 1, senders[i], recv, 300_000)
+        FlowSender(sim, net, f, CongestionControl(init_cwnd_bytes=300_000))
+    sim.run(until=2_000_000)
+    assert tracer.peak_bytes() > 0
+    assert tracer.mean_bytes() <= tracer.peak_bytes()
+    series = tracer.occupancy_series(queue=0)
+    assert len(series) > 10
+    stats = occupancy_stats(tracer, bdp_bytes=10e9 * 6_000 / 8e9)
+    assert stats["peak_bdp"] > 0
+    with pytest.raises(ValueError):
+        occupancy_stats(tracer, 0)
+
+
+def test_port_tracer_validates_interval():
+    sim = Simulator()
+    net, senders, recv = star(sim, 1, switch_cfg=SwitchConfig(n_queues=2))
+    with pytest.raises(ValueError):
+        PortTracer(sim, senders[0].port, interval_ns=0)
+
+
+def test_pfc_logger_counts_and_duration():
+    sim = Simulator(3)
+    cfg = SwitchConfig(
+        n_queues=2,
+        buffer_bytes=64_000,
+        headroom_per_port_per_prio=8_000,
+        pfc=PfcConfig(enabled=True, xoff_bytes=4_000, dynamic=False),
+    )
+    net, senders, recv = star(sim, 2, rate_bps=100e9, link_delay_ns=100, switch_cfg=cfg)
+    # install BEFORE traffic
+    logger = PfcLogger(sim, net.switches[0])
+    # slow the switch's egress toward the receiver to force sustained pause
+    net.path_ports(senders[0], recv)[-1].ns_per_byte = 8.0  # ~1 Gbps
+    f = Flow(1, senders[0], recv, 100_000)
+    FlowSender(sim, net, f, CongestionControl(init_cwnd_bytes=100_000))
+    sim.run(until=2_000_000_000)
+    assert f.done
+    assert logger.pause_count() >= 1
+    assert logger.resume_count() >= 1
+    assert logger.pause_count() >= logger.resume_count()
+    assert logger.paused_duration_ns(sim.now) > 0
+
+
+# ----------------------------------------------------------------------
+# receiver edge cases
+# ----------------------------------------------------------------------
+class _CollectHost:
+    """Stub host capturing emitted ACKs."""
+
+    node_id = 42
+
+    def __init__(self):
+        self.sent = []
+        self.port = None
+
+    def send(self, pkt):
+        self.sent.append(pkt)
+
+    def local_ack_queue(self):
+        return 17
+
+
+def _data(seq, flow_id=1, ts=100):
+    return Packet(DATA, 1040, src=7, dst=42, flow_id=flow_id, seq=seq, payload=1000, send_ts=ts)
+
+
+def test_receiver_out_of_order_delivery():
+    sim = Simulator()
+    host = _CollectHost()
+    flow = Flow(1, None, host, 3000)
+    rx = FlowReceiver(sim, flow, n_packets=3, ack_priority=1)
+    rx.on_packet(_data(2))
+    assert rx.cum_seq == 0  # hole at 0
+    rx.on_packet(_data(0))
+    assert rx.cum_seq == 1
+    rx.on_packet(_data(1))
+    assert rx.cum_seq == 3
+    assert flow.done
+    # ACK per packet, each carrying the cumulative sequence at that moment
+    assert [a.ack_seq for a in host.sent] == [0, 1, 3]
+
+
+def test_receiver_duplicate_data_not_double_counted():
+    sim = Simulator()
+    host = _CollectHost()
+    flow = Flow(1, None, host, 2000)
+    rx = FlowReceiver(sim, flow, n_packets=2, ack_priority=1)
+    rx.on_packet(_data(0))
+    rx.on_packet(_data(0))  # duplicate (retransmission)
+    assert rx.rx_count == 1
+    assert not flow.done
+    rx.on_packet(_data(1))
+    assert flow.done
+    # duplicates are still ACKed (the sender needs the signal)
+    assert len(host.sent) == 3
+
+
+def test_receiver_completion_time_set_once():
+    sim = Simulator()
+    host = _CollectHost()
+    flow = Flow(1, None, host, 1000)
+    rx = FlowReceiver(sim, flow, n_packets=1, ack_priority=1)
+    sim.now = 555
+    rx.on_packet(_data(0))
+    first = flow.completion_ns
+    sim.now = 999
+    rx.on_packet(_data(0))
+    assert flow.completion_ns == first == 555
+
+
+def test_receiver_probe_echo():
+    sim = Simulator()
+    host = _CollectHost()
+    flow = Flow(1, None, host, 1000)
+    rx = FlowReceiver(sim, flow, n_packets=1, ack_priority=1)
+    probe = Packet(PROBE, 64, src=7, dst=42, flow_id=1, send_ts=123)
+    rx.on_packet(probe)
+    (echo,) = host.sent
+    assert echo.kind == PROBE_ACK
+    assert echo.echo_ts == 123
+    assert echo.dst == 7
+
+
+def test_receiver_echo_carries_ecn_and_int():
+    sim = Simulator()
+    host = _CollectHost()
+    flow = Flow(1, None, host, 1000)
+    rx = FlowReceiver(sim, flow, n_packets=1, ack_priority=1)
+    pkt = _data(0)
+    pkt.ecn = True
+    pkt.int_hops = ["hop"]
+    rx.on_packet(pkt)
+    (ack,) = host.sent
+    assert ack.kind == ACK
+    assert ack.ecn_echo
+    assert ack.int_hops == ["hop"]
