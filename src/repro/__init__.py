@@ -38,6 +38,7 @@ from .sim import (
     Switch,
     SwitchConfig,
 )
+from .telemetry import Recorder, set_default_recorder
 from .topology import fat_tree, leaf_spine, multi_rack, star
 from .transport import DEFAULT_MTU, Flow, FlowSender
 
@@ -77,5 +78,7 @@ __all__ = [
     "fat_tree",
     "leaf_spine",
     "multi_rack",
+    "Recorder",
+    "set_default_recorder",
     "__version__",
 ]

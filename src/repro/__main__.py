@@ -6,6 +6,14 @@ Lists and runs individual paper experiments without writing a script:
     python -m repro fig8
     python -m repro fig10c
     python -m repro table2
+
+Observability (see docs/OBSERVABILITY.md): any experiment can be run with the
+flight recorder on, producing a Perfetto-loadable trace and/or structured
+event and metric dumps:
+
+    python -m repro quickstart --trace run.json      # open in ui.perfetto.dev
+    python -m repro fig6 --events run.jsonl          # JSONL event dump
+    python -m repro fig8 --metrics                   # embed metrics in output
 """
 
 from __future__ import annotations
@@ -30,7 +38,9 @@ from .experiments.fig10_micro import run_fig10a, run_fig10b, run_fig10c, run_fig
 from .experiments.fig12_coflow import ci_config, run_fig12ab, run_fig17, run_fig18
 from .experiments.fig13_noncongestive import run_fig13_point
 from .experiments.mltrain import run_mltrain_comparison
+from .experiments.quickstart import run_quickstart
 from .experiments.table2_validation import run_table2_validation
+from .telemetry import Recorder, set_default_recorder, write_events_jsonl, write_perfetto
 
 
 def _fig8_both() -> dict:
@@ -90,6 +100,7 @@ EXPERIMENTS: Dict[str, Callable[[], object]] = {
     "table2": run_table2_validation,
     "ablations": _ablations,
     "ecn-priority": _ecn,
+    "quickstart": run_quickstart,
 }
 
 
@@ -110,6 +121,22 @@ def main(argv=None) -> int:
     )
     parser.add_argument("experiment", nargs="?", help="experiment name (see --list)")
     parser.add_argument("--list", action="store_true", help="list available experiments")
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="record the run and write a Perfetto/Chrome trace JSON to PATH "
+        "(open in ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--events",
+        metavar="PATH",
+        help="record the run and write the raw event stream as JSONL to PATH",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="record the run and embed the telemetry metrics snapshot in the output",
+    )
     args = parser.parse_args(argv)
 
     if args.list or not args.experiment:
@@ -120,7 +147,27 @@ def main(argv=None) -> int:
     if runner is None:
         print(f"unknown experiment {args.experiment!r}; use --list", file=sys.stderr)
         return 2
-    result = runner()
+
+    recorder = None
+    if args.trace or args.events or args.metrics:
+        # event lists are only needed when a trace/event dump was requested
+        recorder = Recorder(events=bool(args.trace or args.events))
+        set_default_recorder(recorder)
+    try:
+        result = runner()
+    finally:
+        if recorder is not None:
+            set_default_recorder(None)
+    if recorder is not None:
+        if args.trace:
+            n = write_perfetto(recorder, args.trace)
+            print(f"wrote {n} trace events to {args.trace}", file=sys.stderr)
+        if args.events:
+            n = write_events_jsonl(recorder, args.events)
+            print(f"wrote {n} events to {args.events}", file=sys.stderr)
+        if args.metrics and isinstance(result, dict) and "telemetry" not in result:
+            result = dict(result)
+            result["telemetry"] = recorder.snapshot()
     print(json.dumps(_jsonable(result), indent=2))
     return 0
 

@@ -13,7 +13,7 @@ Operate on the ``(time, rate)`` series produced by
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 __all__ = ["jain_index", "time_to_share", "utilization", "stability"]
 

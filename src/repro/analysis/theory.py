@@ -15,7 +15,7 @@
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, Tuple
 
 __all__ = [
     "start_strategy_costs",

@@ -5,6 +5,14 @@ behaviour needs the other side — what the queues actually did.  A
 :class:`PortTracer` samples one port's per-queue byte occupancy on a fixed
 grid; :class:`PfcLogger` timestamps every PAUSE/RESUME a switch emits.
 Both are pure observers (no effect on the simulation).
+
+Both are thin conveniences over the first-class observability layer:
+:class:`PfcLogger` subscribes to ``Switch.pfc_listeners`` (so it can be
+installed at any time, including after traffic has started), and
+:class:`PortTracer` schedules itself through the engine's cancellable event
+handles, with an optional ``horizon_ns`` and a :meth:`PortTracer.stop` method
+so it cannot pin the event heap and run ``sim.run()`` forever.  For full
+event traces (Perfetto export, metrics), use :mod:`repro.telemetry` instead.
 """
 
 from __future__ import annotations
@@ -19,21 +27,50 @@ __all__ = ["PortTracer", "PfcLogger", "occupancy_stats"]
 
 
 class PortTracer:
-    """Samples a port's total and per-queue occupancy every ``interval_ns``."""
+    """Samples a port's total and per-queue occupancy every ``interval_ns``.
 
-    def __init__(self, sim: Simulator, port: Port, interval_ns: int = 10_000):
+    Parameters
+    ----------
+    horizon_ns:
+        Stop sampling (and stop rescheduling) past this absolute time.  With
+        the default ``None`` the tracer keeps itself scheduled until
+        :meth:`stop` is called — call it before an open-ended ``sim.run()``,
+        otherwise the self-rescheduling tick keeps the simulation alive.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        port: Port,
+        interval_ns: int = 10_000,
+        horizon_ns: Optional[int] = None,
+    ):
         if interval_ns <= 0:
             raise ValueError("interval must be positive")
         self.sim = sim
         self.port = port
         self.interval_ns = interval_ns
+        self.horizon_ns = horizon_ns
         #: list of (time_ns, total_bytes, tuple(per-queue bytes))
         self.samples: List[Tuple[int, int, Tuple[int, ...]]] = []
-        sim.after(interval_ns, self._tick)
+        self._stopped = False
+        self._ev = sim.after(interval_ns, self._tick)
 
     def _tick(self) -> None:
+        self._ev = None
         self.samples.append((self.sim.now, self.port.total_bytes, tuple(self.port.qbytes)))
-        self.sim.after(self.interval_ns, self._tick)
+        if self._stopped:
+            return
+        if self.horizon_ns is not None and self.sim.now + self.interval_ns > self.horizon_ns:
+            return
+        self._ev = self.sim.after(self.interval_ns, self._tick)
+
+    def stop(self) -> None:
+        """Cease sampling; cancels the pending tick so the heap drains."""
+        self._stopped = True
+        if self._ev is not None:
+            self._ev.cancel()
+            self._ev = None
 
     def peak_bytes(self, t_from: int = 0, t_to: int = 1 << 62) -> int:
         vals = [total for (t, total, _) in self.samples if t_from <= t <= t_to]
@@ -52,8 +89,8 @@ class PortTracer:
 class PfcLogger:
     """Records every PFC PAUSE/RESUME decision a switch makes.
 
-    Install *before* traffic flows: the hook wraps the signal-sender factory,
-    and PFC state machines created earlier keep their unwrapped senders.
+    Registers on :attr:`Switch.pfc_listeners`, which is consulted at signal
+    time — installation order relative to traffic no longer matters.
     """
 
     def __init__(self, sim: Simulator, switch: Switch):
@@ -61,23 +98,17 @@ class PfcLogger:
         self.switch = switch
         #: list of (time_ns, ingress_idx, priority, paused: bool)
         self.events: List[Tuple[int, int, int, bool]] = []
-        self._install()
+        switch.pfc_listeners.append(self._on_signal)
 
-    def _install(self) -> None:
-        logger = self
-        switch = self.switch
-        original = switch._make_signal_sender
+    def _on_signal(self, t: int, in_idx: int, prio: int, paused: bool) -> None:
+        self.events.append((t, in_idx, prio, paused))
 
-        def make_signal_sender(in_idx: int, prio: int):
-            inner = original(in_idx, prio)
-
-            def send(paused: bool) -> None:
-                logger.events.append((logger.sim.now, in_idx, prio, paused))
-                inner(paused)
-
-            return send
-
-        switch._make_signal_sender = make_signal_sender
+    def detach(self) -> None:
+        """Stop observing the switch."""
+        try:
+            self.switch.pfc_listeners.remove(self._on_signal)
+        except ValueError:
+            pass
 
     def pause_count(self) -> int:
         return sum(1 for *_rest, paused in self.events if paused)

@@ -8,7 +8,6 @@ queues or PrioPlus channels) enforce the ordering.
 
 from __future__ import annotations
 
-import math
 from typing import Dict, Iterable, List, Sequence
 
 from ..transport.flow import Flow

@@ -21,7 +21,7 @@ PrioPlus's strict channels.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List
 
 from ..sim.network import Network
 from ..sim.packet import Packet

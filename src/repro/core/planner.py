@@ -15,9 +15,8 @@ class.  :func:`plan_queues` turns that argument into a checked plan:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
-from ..analysis.theory import swift_fluctuation_ns
 from .channels import ChannelConfig
 
 __all__ = ["TrafficClass", "QueuePlan", "PlanError", "plan_queues"]

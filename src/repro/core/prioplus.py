@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..telemetry.recorder import NULL_RECORDER
 from ..transport.flow import AckInfo
 from .channels import ChannelConfig
 
@@ -106,6 +107,7 @@ class PrioPlusCC:
         self.relinquish_count = 0
         self.linear_start_steps = 0
         self.adaptive_increases = 0
+        self._tel = NULL_RECORDER
 
     # ------------------------------------------------------------------
     # window delegation: the sender reads PrioPlusCC.cwnd
@@ -125,6 +127,7 @@ class PrioPlusCC:
     # ------------------------------------------------------------------
     def attach(self, sender) -> None:
         self.sender = sender
+        self._tel = getattr(sender.sim, "telemetry", NULL_RECORDER)
         self.inner.attach(sender)
         self.base_rtt = sender.base_rtt
         self.base_bdp = sender.bdp_bytes
@@ -158,11 +161,16 @@ class PrioPlusCC:
     # ------------------------------------------------------------------
     def on_start(self) -> None:
         self.countdown = self._countdown_reset_value()
+        tel = self._tel
         if self.probe_first:
+            if tel.enabled:
+                tel.flow_state(self.sender.sim.now, self.sender.flow.flow_id, "probe_wait")
             self.sender.stop_sending()
             self.sender.send_probe_after(0)
         else:
             # linear start from W_LS without probing (§4.4)
+            if tel.enabled:
+                tel.flow_state(self.sender.sim.now, self.sender.flow.flow_id, "linear_start")
             self.inner.cwnd = max(self.w_ls, self.inner.min_cwnd)
             self.inner.clamp()
 
@@ -200,6 +208,9 @@ class PrioPlusCC:
                 # linear start step (lines 13-16)
                 self.inner.cwnd += self.w_ls / self.nflow
                 self.linear_start_steps += 1
+                tel = self._tel
+                if tel.enabled:
+                    tel.cc_event(info.now, self.sender.flow.flow_id, "linear_start_step")
                 self._countdown_tick()
                 self.rtt_pass = False
             elif self.dual_rtt_pass or not self.dual_rtt:
@@ -211,6 +222,9 @@ class PrioPlusCC:
                 if step > 0:
                     self.inner.ai_bytes = self.inner.ai_bytes + step
                     self.adaptive_increases += 1
+                    tel = self._tel
+                    if tel.enabled:
+                        tel.cc_event(info.now, self.sender.flow.flow_id, "adaptive_increase")
                 self.rtt_pass = False
         self.inner.on_ack(info)
 
@@ -235,6 +249,9 @@ class PrioPlusCC:
         self.countdown = self._countdown_reset_value()
         self.relinquish_count += 1
         self.consec = 0
+        tel = self._tel
+        if tel.enabled:
+            tel.flow_state(self.sender.sim.now, self.sender.flow.flow_id, "relinquished")
         self.sender.stop_sending()
         self._schedule_probe(delay)
 
@@ -254,12 +271,17 @@ class PrioPlusCC:
         if delay >= self.d_limit:
             self._schedule_probe(delay)
             return
+        tel = self._tel
         if delay <= self.base_rtt + self.empty_eps:
+            if tel.enabled:
+                tel.flow_state(info.now, self.sender.flow.flow_id, "linear_start")
             self.inner.cwnd = max(self.w_ls / self.nflow, self.inner.min_cwnd)
             self._countdown_tick()
         else:
             # one delay sample between base RTT and D_limit: be conservative,
             # adaptive increase will take over within a couple of RTTs (§4.4)
+            if tel.enabled:
+                tel.flow_state(info.now, self.sender.flow.flow_id, "cautious_restart")
             self.inner.cwnd = float(self.inner.mtu)
         self.inner.clamp()
         self.consec = 0

@@ -25,7 +25,6 @@ the resulting worst-case aggregate share for operators.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ..transport.flow import AckInfo
 from .channels import ChannelConfig

@@ -17,16 +17,16 @@ Every figure/table runner builds on three pieces:
 
 from __future__ import annotations
 
-import random
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..cc import D2tcp, Dctcp, Hpcc, Ledbat, NoCC, PowerTcp, Swift, SwiftParams
+from ..cc import D2tcp, Hpcc, Ledbat, NoCC, PowerTcp, Swift, SwiftParams
 from ..core import ChannelConfig, PrioPlusCC, StartTier
 from ..sim.engine import MICROSECOND, Simulator
 from ..sim.host import Host
 from ..sim.network import Network
 from ..sim.pfc import PfcConfig
 from ..sim.switch import SwitchConfig
+from ..telemetry import current_recorder
 from ..transport.flow import Flow
 from ..transport.sender import FlowSender
 from ..workloads.generators import FlowSpec
@@ -38,6 +38,8 @@ __all__ = [
     "RateSampler",
     "DelaySampler",
     "run_until_flows_done",
+    "telemetry_section",
+    "attach_telemetry",
 ]
 
 
@@ -352,6 +354,29 @@ def run_until_flows_done(
         if sim.peek_time() is None:
             break
     return all(f.done for f in flows)
+
+
+# ----------------------------------------------------------------------
+# telemetry
+# ----------------------------------------------------------------------
+def telemetry_section() -> Optional[dict]:
+    """Snapshot of the active flight recorder, or ``None`` when telemetry is
+    off.  Experiments embed this in their result dicts so every run carries
+    its own observability data (event counts + metrics)."""
+    rec = current_recorder()
+    return rec.snapshot() if rec is not None else None
+
+
+def attach_telemetry(result: dict) -> dict:
+    """Add a ``"telemetry"`` key to ``result`` when a recorder is active.
+
+    A no-op (and no new keys) when telemetry is disabled, so enabling the
+    recorder never perturbs the simulation-facing part of a result dict.
+    """
+    snap = telemetry_section()
+    if snap is not None:
+        result["telemetry"] = snap
+    return result
 
 
 # ----------------------------------------------------------------------

@@ -16,7 +16,7 @@
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 from ..cc import Swift, SwiftParams
 from ..core import ChannelConfig, PrioPlusCC, StartTier

@@ -15,7 +15,7 @@ while PrioPlus relinquishes cleanly and linear-starts back.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from .common import Mode
 from .flowsched import FlowSchedConfig, run_flowsched

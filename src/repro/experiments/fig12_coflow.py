@@ -19,7 +19,7 @@ lossless vs lossy parity for PrioPlus) are asserted instead.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional
 
 from ..sim.engine import MILLISECOND
 from .coflow_scenario import CoflowConfig, run_coflow_comparison

@@ -14,17 +14,16 @@ configured tolerance (within a few µs), then grows — tolerances of 10/20/30
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from ..cc import Swift, SwiftParams
 from ..core import ChannelConfig, PrioPlusCC, StartTier
 from ..noise import CompositeNoise, UniformNoise, paper_noise
-from ..sim.engine import MICROSECOND, MILLISECOND, Simulator
+from ..sim.engine import MILLISECOND, Simulator
 from ..sim.switch import SwitchConfig
 from ..topology import star
 from ..transport.flow import Flow
 from ..transport.sender import FlowSender
-from .common import Mode
 
 __all__ = ["run_fig13_point", "run_fig13"]
 

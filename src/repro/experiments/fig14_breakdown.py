@@ -14,12 +14,12 @@ Results are normalised by Physical*+Swift per (priority tier x size bucket).
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..analysis.fct import percentile
 from ..core import StartTier
 from ..noise import paper_noise
-from ..sim.engine import MILLISECOND, Simulator
+from ..sim.engine import Simulator
 from ..topology import fat_tree
 from ..workloads import poisson_flows, websearch
 from .common import CCFactory, Mode, launch_specs, run_until_flows_done

@@ -19,7 +19,7 @@ Four micro-benchmarks on a single 100 Gbps bottleneck (RTT ≈ 12 µs):
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
 from ..cc import D2tcp, Swift, SwiftParams
 from ..sim.engine import MICROSECOND, MILLISECOND, Simulator

@@ -10,7 +10,7 @@ re-running adaptive increase after one RTT would double-apply it.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from ..cc.base import CongestionControl
 from ..sim.engine import MICROSECOND, Simulator

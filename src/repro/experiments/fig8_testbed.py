@@ -14,7 +14,7 @@ priority held during its reign.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..core import ChannelConfig, PrioPlusCC, StartTier
 from ..cc import Swift, SwiftParams

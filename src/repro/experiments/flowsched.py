@@ -12,16 +12,15 @@ breakdown), Fig 16 (PrioPlus* ACK priority + HPCC).
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from ..analysis.fct import FctStats, percentile
-from ..core import ChannelConfig, StartTier
+from ..analysis.fct import percentile
+from ..core import StartTier
 from ..noise import paper_noise
-from ..sim.engine import MICROSECOND, MILLISECOND, Simulator
+from ..sim.engine import MILLISECOND, Simulator
 from ..topology import fat_tree
-from ..transport.flow import Flow
 from ..workloads import EmpiricalCdf, poisson_flows, websearch
-from .common import CCFactory, Mode, launch_specs, run_until_flows_done
+from .common import CCFactory, launch_specs, run_until_flows_done
 
 __all__ = ["FlowSchedConfig", "run_flowsched", "size_group_boundaries"]
 

@@ -24,7 +24,6 @@ from ..sim.engine import MICROSECOND, MILLISECOND, Simulator
 from ..sim.pfc import PfcConfig
 from ..sim.switch import SwitchConfig
 from ..topology import star
-from ..transport.flow import Flow
 from .common import CCFactory, Mode, launch_specs, run_until_flows_done
 from ..workloads import FlowSpec
 

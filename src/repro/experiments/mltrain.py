@@ -19,11 +19,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..mlsim import RESNET50, VGG16, ModelProfile, TrainingJob, scaled_model
+from ..mlsim import RESNET50, VGG16, TrainingJob, scaled_model
 from ..noise import paper_noise
 from ..sim.engine import MILLISECOND, Simulator
 from ..topology import leaf_spine
-from ..core import StartTier
 from .common import CCFactory, Mode
 from ..transport.flow import Flow
 

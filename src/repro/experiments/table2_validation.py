@@ -17,11 +17,11 @@ completion delays order the other way.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 from ..cc.base import CongestionControl
 from ..core.start_strategies import EXPONENTIAL, LINE_RATE, LINEAR, StartRampCC
-from ..sim.engine import MICROSECOND, Simulator
+from ..sim.engine import Simulator
 from ..sim.switch import SwitchConfig
 from ..topology import star
 from ..transport.flow import Flow

@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Optional
 
 __all__ = ["LognormalNoise", "UniformNoise", "CompositeNoise", "NoNoise", "paper_noise"]
 

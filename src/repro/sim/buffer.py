@@ -16,6 +16,8 @@ priorities — headroom is assumed to live outside the chip buffer.
 
 from __future__ import annotations
 
+from ..telemetry.recorder import NULL_RECORDER
+
 __all__ = ["SharedBuffer", "BufferStats"]
 
 
@@ -58,6 +60,16 @@ class SharedBuffer:
         self.shared_used = 0
         self.headroom_used = 0
         self.stats = BufferStats()
+        # telemetry binding (see bind_telemetry): unbound buffers stay silent
+        self.telemetry = NULL_RECORDER
+        self.sim = None
+        self.name = ""
+
+    def bind_telemetry(self, sim, name: str) -> None:
+        """Attach a clock + identity so occupancy/drop events can be emitted."""
+        self.sim = sim
+        self.name = name
+        self.telemetry = getattr(sim, "telemetry", NULL_RECORDER)
 
     # ------------------------------------------------------------------
     @property
@@ -78,6 +90,9 @@ class SharedBuffer:
         self.stats.admitted_shared += 1
         if self.shared_used > self.stats.peak_shared:
             self.stats.peak_shared = self.shared_used
+        tel = self.telemetry
+        if tel.enabled:
+            tel.buffer_occupancy(self.sim.now, self.name, self.shared_used, self.headroom_used)
         return True
 
     def try_admit_headroom(self, size: int) -> bool:
@@ -88,6 +103,9 @@ class SharedBuffer:
         self.stats.admitted_headroom += 1
         if self.headroom_used > self.stats.peak_headroom:
             self.stats.peak_headroom = self.headroom_used
+        tel = self.telemetry
+        if tel.enabled:
+            tel.buffer_occupancy(self.sim.now, self.name, self.shared_used, self.headroom_used)
         return True
 
     def release(self, size: int, from_headroom: bool) -> None:
@@ -100,6 +118,12 @@ class SharedBuffer:
             self.shared_used -= size
             if self.shared_used < 0:
                 raise AssertionError("shared-pool accounting went negative")
+        tel = self.telemetry
+        if tel.enabled:
+            tel.buffer_occupancy(self.sim.now, self.name, self.shared_used, self.headroom_used)
 
-    def record_drop(self) -> None:
+    def record_drop(self, size: int = 0, priority: int = -1) -> None:
         self.stats.dropped += 1
+        tel = self.telemetry
+        if tel.enabled:
+            tel.buffer_drop(self.sim.now, self.name, size, priority)

@@ -7,7 +7,9 @@ event ordering when micro-second RTTs meet 100 Gbps serialisation times.
 Events are plain callbacks.  :meth:`Simulator.after` / :meth:`Simulator.at`
 return an :class:`EventHandle` that can be cancelled; cancelled events stay in
 the heap but are skipped when popped (lazy deletion), which keeps cancellation
-O(1).
+O(1).  A live-event counter makes :attr:`Simulator.pending` O(1) too, and the
+heap is compacted whenever cancelled entries outnumber live ones, so
+cancel-heavy workloads (pacing, RTO re-arms) cannot bloat it.
 """
 
 from __future__ import annotations
@@ -15,6 +17,8 @@ from __future__ import annotations
 import heapq
 import random
 from typing import Any, Callable, List, Optional
+
+from ..telemetry.recorder import default_recorder
 
 __all__ = ["Simulator", "EventHandle", "SECOND", "MILLISECOND", "MICROSECOND"]
 
@@ -27,21 +31,26 @@ MICROSECOND = 1_000
 class EventHandle:
     """Cancellable reference to a scheduled event."""
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "sim")
 
-    def __init__(self, time: int, seq: int, fn: Callable, args: tuple):
+    def __init__(self, time: int, seq: int, fn: Callable, args: tuple, sim: "Simulator" = None):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Safe to call more than once."""
+        if self.cancelled:
+            return
         self.cancelled = True
         # Drop references eagerly so cancelled events don't pin packets/flows.
         self.fn = None
         self.args = ()
+        if self.sim is not None:
+            self.sim._note_cancel()
 
     def __lt__(self, other: "EventHandle") -> bool:
         if self.time != other.time:
@@ -64,6 +73,9 @@ class Simulator:
         from :attr:`rng` so runs are reproducible.
     """
 
+    #: compact the heap only past this size (tiny heaps aren't worth it)
+    COMPACT_MIN = 64
+
     def __init__(self, seed: int = 0):
         self.now: int = 0
         self.rng = random.Random(seed)
@@ -71,6 +83,11 @@ class Simulator:
         self._seq = 0
         self._running = False
         self.events_processed = 0
+        self._live = 0  # scheduled, not yet fired or cancelled
+        self._cancelled = 0  # cancelled entries still polluting the heap
+        #: telemetry recorder adopted at construction (see repro.telemetry);
+        #: components snapshot this, keeping the disabled path to one check
+        self.telemetry = default_recorder()
 
     # ------------------------------------------------------------------
     # scheduling
@@ -81,7 +98,8 @@ class Simulator:
             raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
         self._seq += 1
         time = int(time)
-        ev = EventHandle(time, self._seq, fn, args)
+        ev = EventHandle(time, self._seq, fn, args, self)
+        self._live += 1
         # heap entries are (time, seq, handle) tuples: comparisons stay in C
         heapq.heappush(self._heap, (time, self._seq, ev))
         return ev
@@ -109,6 +127,7 @@ class Simulator:
                 time, _, ev = heap[0]
                 if ev.cancelled:
                     pop(heap)
+                    self._cancelled -= 1
                     continue
                 if until is not None and time > until:
                     break
@@ -117,7 +136,13 @@ class Simulator:
                     break
                 pop(heap)
                 self.now = time
-                ev.fn(*ev.args)
+                self._live -= 1
+                fn = ev.fn
+                args = ev.args
+                # mark fired so a late cancel() is a no-op for the counters
+                ev.cancelled = True
+                ev.sim = None
+                fn(*args)
                 processed += 1
         finally:
             self._running = False
@@ -133,9 +158,26 @@ class Simulator:
         heap = self._heap
         while heap and heap[0][2].cancelled:
             heapq.heappop(heap)
+            self._cancelled -= 1
         return heap[0][0] if heap else None
 
     @property
     def pending(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for _, _, ev in self._heap if not ev.cancelled)
+        """Number of live (non-cancelled) events still queued.  O(1)."""
+        return self._live
+
+    # ------------------------------------------------------------------
+    # cancellation bookkeeping (called from EventHandle.cancel)
+    # ------------------------------------------------------------------
+    def _note_cancel(self) -> None:
+        self._live -= 1
+        self._cancelled += 1
+        if self._cancelled > self.COMPACT_MIN and self._cancelled * 2 > len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify, in place (safe mid-run)."""
+        heap = self._heap
+        heap[:] = [entry for entry in heap if not entry[2].cancelled]
+        heapq.heapify(heap)
+        self._cancelled = 0

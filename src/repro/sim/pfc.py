@@ -14,8 +14,9 @@ large number of lossless priorities expensive (paper §2.2, Fig. 11).
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Optional, Tuple
 
+from ..telemetry.recorder import NULL_RECORDER
 from .buffer import SharedBuffer
 from .engine import Simulator
 
@@ -45,7 +46,18 @@ class PfcConfig:
 class PfcIngressState:
     """Pause state machine for one (ingress port, priority) pair."""
 
-    __slots__ = ("sim", "cfg", "buffer", "bytes", "pause_sent", "send_signal", "pauses_sent", "resumes_sent")
+    __slots__ = (
+        "sim",
+        "cfg",
+        "buffer",
+        "bytes",
+        "pause_sent",
+        "send_signal",
+        "pauses_sent",
+        "resumes_sent",
+        "key",
+        "telemetry",
+    )
 
     def __init__(
         self,
@@ -53,6 +65,7 @@ class PfcIngressState:
         cfg: PfcConfig,
         buffer: SharedBuffer,
         send_signal: Callable[[bool], None],
+        key: Tuple[str, int, int] = ("", 0, 0),
     ):
         self.sim = sim
         self.cfg = cfg
@@ -63,6 +76,9 @@ class PfcIngressState:
         self.send_signal = send_signal
         self.pauses_sent = 0
         self.resumes_sent = 0
+        #: (switch name, ingress index, priority) — telemetry identity
+        self.key = key
+        self.telemetry = getattr(sim, "telemetry", NULL_RECORDER)
 
     def _xoff(self) -> float:
         cfg = self.cfg
@@ -77,6 +93,9 @@ class PfcIngressState:
         if self.bytes > self._xoff():
             self.pause_sent = True
             self.pauses_sent += 1
+            tel = self.telemetry
+            if tel.enabled:
+                tel.pfc(self.sim.now, self.key[0], self.key[1], self.key[2], True, self.bytes)
             self.send_signal(True)
 
     def on_dequeue(self, size: int) -> None:
@@ -86,4 +105,7 @@ class PfcIngressState:
         if self.pause_sent and self.bytes <= min(self.cfg.xon_bytes, self._xoff()):
             self.pause_sent = False
             self.resumes_sent += 1
+            tel = self.telemetry
+            if tel.enabled:
+                tel.pfc(self.sim.now, self.key[0], self.key[1], self.key[2], False, self.bytes)
             self.send_signal(False)

@@ -13,8 +13,9 @@ convention used by ns-3's qbb model).
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, List, Optional
 
+from ..telemetry.recorder import NULL_RECORDER
 from .engine import Simulator
 from .packet import IntHop, Packet
 
@@ -47,6 +48,7 @@ class Port:
         "ecn_marker",
         "down",
         "dropped_on_cut",
+        "telemetry",
     )
 
     def __init__(
@@ -91,6 +93,8 @@ class Port:
         #: administratively/physically down: nothing transmits
         self.down = False
         self.dropped_on_cut = 0
+        #: telemetry hook (see repro.telemetry); disabled path is one check
+        self.telemetry = getattr(sim, "telemetry", NULL_RECORDER)
 
     # ------------------------------------------------------------------
     def connect(self, peer, prop_delay_ns: int, peer_in_idx: int = 0) -> None:
@@ -111,14 +115,23 @@ class Port:
     def enqueue(self, pkt: Packet, ctx: Any = None) -> None:
         """Queue a packet for transmission (admission already decided)."""
         q = self.queue_index(pkt)
+        marked = False
         if self.ecn_marker is not None:
             if self.ecn_marker(pkt, self.qbytes[q]):
                 pkt.ecn = True
+                marked = True
         elif self.ecn_k is not None and self.qbytes[q] + pkt.size > self.ecn_k:
             pkt.ecn = True
+            marked = True
         self.queues[q].append((pkt, ctx))
         self.qbytes[q] += pkt.size
         self.total_bytes += pkt.size
+        tel = self.telemetry
+        if tel.enabled:
+            now = self.sim.now
+            if marked:
+                tel.ecn_mark(now, self.name, q)
+            tel.queue_depth(now, self.name, q, self.qbytes[q], self.total_bytes)
         if not self.busy:
             self._kick()
 
@@ -167,6 +180,10 @@ class Port:
                     self.on_dequeue(pkt, ctx)
                 dropped += 1
         self.dropped_on_cut += dropped
+        tel = self.telemetry
+        if tel.enabled and dropped:
+            for q in range(self.n_queues):
+                tel.queue_depth(self.sim.now, self.name, q, self.qbytes[q], self.total_bytes)
         return dropped
 
     def restore(self) -> None:
@@ -185,6 +202,11 @@ class Port:
         self.qbytes[q] -= pkt.size
         self.total_bytes -= pkt.size
         self.busy = True
+        tel = self.telemetry
+        if tel.enabled:
+            now = self.sim.now
+            tel.queue_depth(now, self.name, q, self.qbytes[q], self.total_bytes)
+            tel.link(now, self.name, True)
         if self.stamp_int and pkt.int_hops is not None:
             pkt.int_hops.append(
                 IntHop(self.total_bytes, self.tx_bytes_total, self.sim.now, self.rate_bps)
@@ -200,4 +222,7 @@ class Port:
             raise RuntimeError(f"{self.name}: transmitting on an unconnected port")
         self.sim.after(self.prop_delay_ns, self.peer.receive, pkt, self.peer_in_idx)
         self.busy = False
+        tel = self.telemetry
+        if tel.enabled:
+            tel.link(self.sim.now, self.name, False)
         self._kick()

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from .buffer import SharedBuffer
 from .engine import Simulator
@@ -83,6 +83,12 @@ class Switch:
         self._pfc: Dict[Tuple[int, int], PfcIngressState] = {}
         self.drops = 0
         self.forwarded = 0
+        #: observers called as ``cb(time_ns, in_idx, prio, paused)`` whenever a
+        #: PFC PAUSE/RESUME signal is emitted.  The list is consulted at signal
+        #: time, so listeners may register at any point — including after
+        #: traffic has started (unlike the old ``_make_signal_sender``
+        #: monkey-patching, which silently missed already-created state).
+        self.pfc_listeners: List[Callable[[int, int, int, bool], None]] = []
 
     # ------------------------------------------------------------------
     # topology wiring
@@ -127,6 +133,7 @@ class Switch:
             self.buffer.headroom_capacity = extra
         else:
             self.buffer = SharedBuffer(cfg.buffer_bytes, headroom, cfg.dt_alpha)
+        self.buffer.bind_telemetry(self.sim, self.name)
 
     # ------------------------------------------------------------------
     # data path
@@ -151,7 +158,7 @@ class Switch:
             ):
                 from_headroom = True
             else:
-                buf.record_drop()
+                buf.record_drop(pkt.size, pkt.priority)
                 self.drops += 1
                 return
         if self.cfg.pfc.enabled and pkt.priority < self.cfg.n_lossless:
@@ -177,6 +184,7 @@ class Switch:
                 self.cfg.pfc,
                 self.buffer,
                 self._make_signal_sender(in_idx, prio),
+                key=(self.name, in_idx, prio),
             )
             self._pfc[key] = state
         return state
@@ -186,6 +194,10 @@ class Switch:
         delay = self._ingress_delay[in_idx]
 
         def send(paused: bool) -> None:
+            if self.pfc_listeners:
+                now = self.sim.now
+                for cb in self.pfc_listeners:
+                    cb(now, in_idx, prio, paused)
             if upstream is not None:
                 self.sim.after(delay, upstream.set_paused, prio, paused)
 

@@ -1,0 +1,48 @@
+"""Observability layer: structured event tracing, metrics, trace export.
+
+Quick taste::
+
+    from repro import Simulator
+    from repro.telemetry import Recorder, set_default_recorder, write_perfetto
+
+    rec = Recorder()
+    set_default_recorder(rec)       # BEFORE building simulators/topologies
+    try:
+        sim = Simulator(seed=1)     # adopts the recorder
+        ...build topology, run...
+    finally:
+        set_default_recorder(None)
+    write_perfetto(rec, "run.json")  # open in ui.perfetto.dev
+    print(rec.snapshot()["metrics"]["counters"])
+
+See ``docs/OBSERVABILITY.md`` for the hook points and event taxonomy.
+"""
+
+from .export import to_perfetto, write_events_jsonl, write_perfetto
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .recorder import (
+    CHANNELS,
+    NULL_RECORDER,
+    NullRecorder,
+    Recorder,
+    current_recorder,
+    default_recorder,
+    set_default_recorder,
+)
+
+__all__ = [
+    "CHANNELS",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "Recorder",
+    "current_recorder",
+    "default_recorder",
+    "set_default_recorder",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "to_perfetto",
+    "write_perfetto",
+    "write_events_jsonl",
+]

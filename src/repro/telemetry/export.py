@@ -1,0 +1,219 @@
+"""Trace exporters: JSONL event dumps and Chrome/Perfetto ``trace_event`` JSON.
+
+``to_perfetto`` renders a whole simulation as a trace that opens directly in
+`ui.perfetto.dev <https://ui.perfetto.dev>`_ (or ``chrome://tracing``):
+
+* **flows** process — one thread per flow with B/E spans for every
+  flow/PrioPlus state, counter tracks for cwnd and measured delay, and
+  instant events for probes and per-RTT CC decisions;
+* **ports** process — one thread per egress port with transmit busy spans,
+  ECN-mark instants, and per-queue byte-occupancy counters;
+* **pfc** process — one thread per (switch, ingress, priority) with a PAUSE
+  span for every pause/resume pair;
+* **buffers** process — shared/headroom occupancy counters and drop instants
+  per switch.
+
+Timestamps are emitted in microseconds (the format's unit) from the engine's
+integer-nanosecond clock; events are sorted and B/E pairs always match (spans
+still open at the end of the recording are closed at the trace's last
+timestamp).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+from .recorder import Recorder
+
+__all__ = ["to_perfetto", "write_perfetto", "write_events_jsonl"]
+
+_FLOWS_PID = 1
+_PORTS_PID = 2
+_PFC_PID = 3
+_BUFFERS_PID = 4
+
+#: JSONL field names per channel (kept in sync with the Recorder tuples)
+_JSONL_FIELDS: Dict[str, Tuple[str, ...]] = {
+    "flow_state": ("t", "flow_id", "state"),
+    "cwnd": ("t", "flow_id", "cwnd_bytes", "delay_ns"),
+    "probe": ("t", "flow_id", "kind"),
+    "cc": ("t", "flow_id", "kind"),
+    "ecn": ("t", "port", "queue"),
+    "pfc": ("t", "switch", "in_idx", "prio", "paused", "backlog_bytes"),
+    "queue": ("t", "port", "queue", "queue_bytes", "total_bytes"),
+    "link": ("t", "port", "busy"),
+    "buffer": ("t", "switch", "shared_used", "headroom_used"),
+    "drop": ("t", "switch", "size", "priority"),
+}
+
+
+def write_events_jsonl(recorder: Recorder, path: str) -> int:
+    """Dump every recorded event as one JSON object per line.
+
+    Events are merged across channels in timestamp order; each line carries
+    ``ch`` (the channel name) plus the channel's named fields.  Returns the
+    number of lines written.
+    """
+    rows: List[Tuple[int, int, str]] = []
+    seq = 0
+    for ch, events in recorder.events.items():
+        fields = _JSONL_FIELDS[ch]
+        for ev in events:
+            obj = {"ch": ch}
+            obj.update(zip(fields, ev))
+            rows.append((ev[0], seq, json.dumps(obj)))
+            seq += 1
+    rows.sort(key=lambda r: (r[0], r[1]))
+    with open(path, "w") as fh:
+        for _, _, line in rows:
+            fh.write(line)
+            fh.write("\n")
+    return len(rows)
+
+
+class _TraceBuilder:
+    """Accumulates trace events with stable (ts, emission-order) sorting."""
+
+    def __init__(self):
+        self.events: List[tuple] = []  # (t_ns, seq, json_obj)
+        self._seq = 0
+        self._meta: List[dict] = []
+        self._tids: Dict[Tuple[int, object], int] = {}
+
+    def meta(self, pid: int, name: str, tid: int = 0, kind: str = "process_name") -> None:
+        self._meta.append(
+            {"name": kind, "ph": "M", "pid": pid, "tid": tid, "args": {"name": name}}
+        )
+
+    def tid_for(self, pid: int, key: object, label: str) -> int:
+        tid = self._tids.get((pid, key))
+        if tid is None:
+            tid = len([k for k in self._tids if k[0] == pid]) + 1
+            self._tids[(pid, key)] = tid
+            self.meta(pid, label, tid, kind="thread_name")
+        return tid
+
+    def add(self, t_ns: int, obj: dict) -> None:
+        obj["ts"] = t_ns / 1000.0  # trace_event timestamps are microseconds
+        self.events.append((t_ns, self._seq, obj))
+        self._seq += 1
+
+    def span_begin(self, t: int, pid: int, tid: int, name: str, cat: str, args=None) -> None:
+        obj = {"name": name, "cat": cat, "ph": "B", "pid": pid, "tid": tid}
+        if args:
+            obj["args"] = args
+        self.add(t, obj)
+
+    def span_end(self, t: int, pid: int, tid: int) -> None:
+        self.add(t, {"ph": "E", "pid": pid, "tid": tid})
+
+    def instant(self, t: int, pid: int, tid: int, name: str, cat: str, args=None) -> None:
+        obj = {"name": name, "cat": cat, "ph": "i", "s": "t", "pid": pid, "tid": tid}
+        if args:
+            obj["args"] = args
+        self.add(t, obj)
+
+    def counter(self, t: int, pid: int, name: str, args: dict) -> None:
+        self.add(t, {"name": name, "cat": "counter", "ph": "C", "pid": pid, "args": args})
+
+    def render(self) -> List[dict]:
+        self.events.sort(key=lambda e: (e[0], e[1]))
+        return self._meta + [obj for _, _, obj in self.events]
+
+
+def to_perfetto(recorder: Recorder) -> dict:
+    """Convert a recorder's events to a Chrome ``trace_event`` JSON object."""
+    tb = _TraceBuilder()
+    tb.meta(_FLOWS_PID, "flows")
+    tb.meta(_PORTS_PID, "ports")
+    tb.meta(_PFC_PID, "pfc")
+    tb.meta(_BUFFERS_PID, "buffers")
+    end_ts = recorder.max_ts
+
+    # --- flow state spans: each transition closes the previous state -------
+    open_state: Dict[int, str] = {}
+    for t, fid, state in recorder.events["flow_state"]:
+        tid = tb.tid_for(_FLOWS_PID, fid, f"flow {fid}")
+        if fid in open_state:
+            tb.span_end(t, _FLOWS_PID, tid)
+            del open_state[fid]
+        if state != "done":
+            tb.span_begin(t, _FLOWS_PID, tid, state, "flow_state")
+            open_state[fid] = state
+    for fid in open_state:
+        tb.span_end(end_ts, _FLOWS_PID, tb.tid_for(_FLOWS_PID, fid, f"flow {fid}"))
+
+    # --- cwnd / delay counters ---------------------------------------------
+    for t, fid, cwnd, delay in recorder.events["cwnd"]:
+        tb.counter(t, _FLOWS_PID, f"cwnd flow{fid}", {"bytes": round(cwnd, 1)})
+        tb.counter(t, _FLOWS_PID, f"delay flow{fid}", {"ns": delay})
+
+    # --- probe + CC instants ------------------------------------------------
+    for t, fid, kind in recorder.events["probe"]:
+        tid = tb.tid_for(_FLOWS_PID, fid, f"flow {fid}")
+        tb.instant(t, _FLOWS_PID, tid, f"probe_{kind}", "probe")
+    for t, fid, kind in recorder.events["cc"]:
+        tid = tb.tid_for(_FLOWS_PID, fid, f"flow {fid}")
+        tb.instant(t, _FLOWS_PID, tid, kind, "cc")
+
+    # --- per-queue occupancy counters ---------------------------------------
+    for t, port, queue, qbytes, total in recorder.events["queue"]:
+        tb.counter(t, _PORTS_PID, f"{port} q{queue}", {"bytes": qbytes})
+        tb.counter(t, _PORTS_PID, f"{port} total", {"bytes": total})
+
+    # --- link busy spans ----------------------------------------------------
+    link_busy: Dict[str, bool] = {}
+    for t, port, busy in recorder.events["link"]:
+        tid = tb.tid_for(_PORTS_PID, port, port)
+        was = link_busy.get(port, False)
+        if busy and not was:
+            tb.span_begin(t, _PORTS_PID, tid, "tx", "link")
+        elif was and not busy:
+            tb.span_end(t, _PORTS_PID, tid)
+        link_busy[port] = busy
+    for port, busy in link_busy.items():
+        if busy:
+            tb.span_end(end_ts, _PORTS_PID, tb.tid_for(_PORTS_PID, port, port))
+
+    # --- ECN instants -------------------------------------------------------
+    for t, port, queue in recorder.events["ecn"]:
+        tid = tb.tid_for(_PORTS_PID, port, port)
+        tb.instant(t, _PORTS_PID, tid, f"ecn q{queue}", "ecn")
+
+    # --- PFC pause spans ----------------------------------------------------
+    pfc_open: Dict[Tuple[str, int, int], bool] = {}
+    for t, sw, in_idx, prio, paused, backlog in recorder.events["pfc"]:
+        key = (sw, in_idx, prio)
+        tid = tb.tid_for(_PFC_PID, key, f"{sw} in{in_idx} p{prio}")
+        if paused and not pfc_open.get(key, False):
+            tb.span_begin(t, _PFC_PID, tid, "PAUSE", "pfc", {"backlog_bytes": backlog})
+            pfc_open[key] = True
+        elif not paused and pfc_open.get(key, False):
+            tb.span_end(t, _PFC_PID, tid)
+            pfc_open[key] = False
+    for key, is_open in pfc_open.items():
+        if is_open:
+            sw, in_idx, prio = key
+            tb.span_end(end_ts, _PFC_PID, tb.tid_for(_PFC_PID, key, f"{sw} in{in_idx} p{prio}"))
+
+    # --- buffer occupancy counters + drop instants --------------------------
+    for t, sw, shared, headroom in recorder.events["buffer"]:
+        tb.counter(t, _BUFFERS_PID, f"{sw} buffer", {"shared": shared, "headroom": headroom})
+    for t, sw, size, prio in recorder.events["drop"]:
+        tid = tb.tid_for(_BUFFERS_PID, sw, sw)
+        tb.instant(t, _BUFFERS_PID, tid, "drop", "drop", {"size": size, "priority": prio})
+
+    return {
+        "traceEvents": tb.render(),
+        "displayTimeUnit": "ns",
+        "otherData": {"generator": "repro.telemetry", "clock_domain": "simulation-ns"},
+    }
+
+
+def write_perfetto(recorder: Recorder, path: str) -> int:
+    """Write the Perfetto/Chrome trace JSON; returns the event count."""
+    trace = to_perfetto(recorder)
+    with open(path, "w") as fh:
+        json.dump(trace, fh)
+    return len(trace["traceEvents"])

@@ -1,0 +1,271 @@
+"""Flight recorder: typed event channels + aggregate metrics.
+
+Design constraints (in priority order):
+
+1. **Zero overhead when off.**  Every hook site in the simulator reads one
+   attribute and checks one flag::
+
+       tel = self.telemetry
+       if tel.enabled:
+           tel.queue_depth(...)
+
+   Components snapshot ``sim.telemetry`` at construction time, and
+   :class:`Simulator` adopts the module-level default recorder, so the
+   disabled path never allocates, formats or branches further.
+2. **No feedback into the simulation.**  The recorder never touches the
+   event heap or the simulation RNG; enabling it must leave results
+   byte-identical (tested in ``tests/test_telemetry.py``).
+3. **Structured, not stringly.**  Each channel stores fixed-shape tuples
+   (documented per method) that the exporters and metrics consume without
+   parsing.
+
+Event taxonomy (channel → tuple layout):
+
+========== =============================================================
+flow_state ``(t, flow_id, state)`` — lifecycle + PrioPlus machine states
+cwnd       ``(t, flow_id, cwnd_bytes, delay_ns)`` — after every ACK
+probe      ``(t, flow_id, kind)`` — ``"send"`` / ``"ack"``
+cc         ``(t, flow_id, kind)`` — per-RTT CC decisions (instants)
+ecn        ``(t, port, queue)`` — a packet was ECN-marked at enqueue
+pfc        ``(t, switch, in_idx, prio, paused, backlog_bytes)``
+queue      ``(t, port, queue, queue_bytes, total_bytes)`` — on change
+link       ``(t, port, busy)`` — egress transmit busy/idle transitions
+buffer     ``(t, switch, shared_used, headroom_used)`` — on change
+drop       ``(t, switch, size, priority)`` — shared-buffer tail drop
+========== =============================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from .metrics import Gauge, MetricsRegistry
+
+__all__ = [
+    "CHANNELS",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "Recorder",
+    "current_recorder",
+    "default_recorder",
+    "set_default_recorder",
+]
+
+#: every event channel a :class:`Recorder` can populate
+CHANNELS: Tuple[str, ...] = (
+    "flow_state",
+    "cwnd",
+    "probe",
+    "cc",
+    "ecn",
+    "pfc",
+    "queue",
+    "link",
+    "buffer",
+    "drop",
+)
+
+
+class NullRecorder:
+    """Inert stand-in installed by default; hook sites only read ``enabled``."""
+
+    enabled = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<NullRecorder>"
+
+
+#: the process-wide disabled recorder (safe to share: it holds no state)
+NULL_RECORDER = NullRecorder()
+
+
+class Recorder:
+    """Collects structured events and aggregate metrics from a simulation.
+
+    Parameters
+    ----------
+    events:
+        Keep per-channel event lists (required for trace export).  Disable
+        to collect aggregate metrics only, at much lower memory cost.
+    channels:
+        Optional subset of :data:`CHANNELS` to record; ``None`` means all.
+        Filtering happens inside the recorder, so hook sites stay branchless.
+    """
+
+    def __init__(self, events: bool = True, channels: Optional[Iterable[str]] = None):
+        self.enabled = True
+        self.keep_events = events
+        if channels is None:
+            chans: FrozenSet[str] = frozenset(CHANNELS)
+        else:
+            chans = frozenset(channels)
+            unknown = chans - set(CHANNELS)
+            if unknown:
+                raise ValueError(f"unknown telemetry channels: {sorted(unknown)}")
+        self.channels = chans
+        #: channel name -> list of event tuples (see module docstring)
+        self.events: Dict[str, List[tuple]] = {ch: [] for ch in CHANNELS}
+        self.metrics = MetricsRegistry()
+        self.max_ts = 0
+        # hot-path metric handles (avoid name lookups per event)
+        m = self.metrics
+        self._c_ecn = m.counter("ecn.marks")
+        self._c_drop = m.counter("buffer.drops")
+        self._c_drop_bytes = m.counter("buffer.dropped_bytes")
+        self._c_pause = m.counter("pfc.pauses")
+        self._c_resume = m.counter("pfc.resumes")
+        self._c_probe_send = m.counter("probe.sent")
+        self._c_probe_ack = m.counter("probe.acked")
+        self._h_delay = m.histogram("delay_ns")
+        self._h_cwnd = m.histogram("cwnd_bytes")
+        self._port_gauges: Dict[str, Gauge] = {}
+        self._buffer_gauges: Dict[str, Gauge] = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def pause(self) -> None:
+        """Stop recording without detaching from components."""
+        self.enabled = False
+
+    def resume(self) -> None:
+        self.enabled = True
+
+    def _note(self, t: int) -> None:
+        if t > self.max_ts:
+            self.max_ts = t
+
+    # ------------------------------------------------------------------
+    # typed channels (called from simulator hook points)
+    # ------------------------------------------------------------------
+    def flow_state(self, t: int, flow_id: int, state: str) -> None:
+        if "flow_state" not in self.channels:
+            return
+        self._note(t)
+        if self.keep_events:
+            self.events["flow_state"].append((t, flow_id, state))
+        self.metrics.counter(f"flow_state.{state}").inc()
+
+    def cwnd_update(self, t: int, flow_id: int, cwnd_bytes: float, delay_ns: int) -> None:
+        if "cwnd" not in self.channels:
+            return
+        self._note(t)
+        if self.keep_events:
+            self.events["cwnd"].append((t, flow_id, cwnd_bytes, delay_ns))
+        self._h_delay.observe(delay_ns)
+        self._h_cwnd.observe(cwnd_bytes)
+
+    def probe(self, t: int, flow_id: int, kind: str) -> None:
+        if "probe" not in self.channels:
+            return
+        self._note(t)
+        if self.keep_events:
+            self.events["probe"].append((t, flow_id, kind))
+        (self._c_probe_send if kind == "send" else self._c_probe_ack).inc()
+
+    def cc_event(self, t: int, flow_id: int, kind: str) -> None:
+        if "cc" not in self.channels:
+            return
+        self._note(t)
+        if self.keep_events:
+            self.events["cc"].append((t, flow_id, kind))
+        self.metrics.counter(f"cc.{kind}").inc()
+
+    def ecn_mark(self, t: int, port: str, queue: int) -> None:
+        if "ecn" not in self.channels:
+            return
+        self._note(t)
+        if self.keep_events:
+            self.events["ecn"].append((t, port, queue))
+        self._c_ecn.inc()
+
+    def pfc(self, t: int, switch: str, in_idx: int, prio: int, paused: bool, backlog: int) -> None:
+        if "pfc" not in self.channels:
+            return
+        self._note(t)
+        if self.keep_events:
+            self.events["pfc"].append((t, switch, in_idx, prio, paused, backlog))
+        (self._c_pause if paused else self._c_resume).inc()
+
+    def queue_depth(self, t: int, port: str, queue: int, qbytes: int, total: int) -> None:
+        if "queue" not in self.channels:
+            return
+        self._note(t)
+        if self.keep_events:
+            self.events["queue"].append((t, port, queue, qbytes, total))
+        g = self._port_gauges.get(port)
+        if g is None:
+            g = self._port_gauges[port] = self.metrics.gauge(f"queue_bytes.{port}")
+        g.set(t, total)
+
+    def link(self, t: int, port: str, busy: bool) -> None:
+        if "link" not in self.channels:
+            return
+        self._note(t)
+        if self.keep_events:
+            self.events["link"].append((t, port, busy))
+
+    def buffer_occupancy(self, t: int, switch: str, shared_used: int, headroom_used: int) -> None:
+        if "buffer" not in self.channels:
+            return
+        self._note(t)
+        if self.keep_events:
+            self.events["buffer"].append((t, switch, shared_used, headroom_used))
+        g = self._buffer_gauges.get(switch)
+        if g is None:
+            g = self._buffer_gauges[switch] = self.metrics.gauge(f"buffer_bytes.{switch}")
+        g.set(t, shared_used + headroom_used)
+
+    def buffer_drop(self, t: int, switch: str, size: int, priority: int) -> None:
+        if "drop" not in self.channels:
+            return
+        self._note(t)
+        if self.keep_events:
+            self.events["drop"].append((t, switch, size, priority))
+        self._c_drop.inc()
+        self._c_drop_bytes.inc(size)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def event_counts(self) -> Dict[str, int]:
+        return {ch: len(evs) for ch, evs in self.events.items() if evs}
+
+    def snapshot(self) -> dict:
+        """Per-run summary, safe to embed in an experiment's result dict."""
+        return {
+            "event_counts": self.event_counts(),
+            "metrics": self.metrics.snapshot(until_t=self.max_ts),
+        }
+
+    def clear(self) -> None:
+        """Drop recorded events (metrics are kept)."""
+        for evs in self.events.values():
+            evs.clear()
+
+
+# ----------------------------------------------------------------------
+# process-wide default recorder, adopted by every new Simulator
+# ----------------------------------------------------------------------
+_default: object = NULL_RECORDER
+
+
+def set_default_recorder(recorder) -> None:
+    """Install ``recorder`` as the default every new :class:`Simulator` adopts.
+
+    Pass ``None`` to restore the inert :data:`NULL_RECORDER`.  Install the
+    recorder *before* building simulators/topologies: components snapshot it
+    at construction time.
+    """
+    global _default
+    _default = recorder if recorder is not None else NULL_RECORDER
+
+
+def default_recorder():
+    """The recorder new simulators adopt (the null recorder when disabled)."""
+    return _default
+
+
+def current_recorder() -> Optional[Recorder]:
+    """The active default :class:`Recorder`, or ``None`` when telemetry is off."""
+    return _default if getattr(_default, "enabled", False) else None

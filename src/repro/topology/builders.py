@@ -97,12 +97,12 @@ def leaf_spine(
     hosts: List[Host] = []
     uplink_total = hosts_per_leaf * host_rate_bps / oversubscription
     uplink_rate = uplink_total / n_spines
-    for l in range(n_leaves):
-        leaf = net.add_switch(name=f"leaf{l}")
+    for li in range(n_leaves):
+        leaf = net.add_switch(name=f"leaf{li}")
         for s in spines:
             net.connect(leaf, s, uplink_rate, link_delay_ns)
         for h in range(hosts_per_leaf):
-            host = net.add_host(name=f"h{l}_{h}")
+            host = net.add_host(name=f"h{li}_{h}")
             hosts.append(host)
             net.connect(host, leaf, host_rate_bps, link_delay_ns)
     net.build_routes()

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ..sim.engine import Simulator
 from ..sim.packet import ACK, DATA, MIN_PACKET_BYTES, PROBE, PROBE_ACK, Packet

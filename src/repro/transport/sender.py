@@ -19,7 +19,8 @@ from typing import Callable, Optional
 
 from ..sim.engine import Simulator
 from ..sim.network import Network
-from ..sim.packet import ACK, DATA, HEADER_BYTES, MIN_PACKET_BYTES, PROBE, PROBE_ACK, Packet
+from ..sim.packet import DATA, HEADER_BYTES, MIN_PACKET_BYTES, PROBE, PROBE_ACK, Packet
+from ..telemetry.recorder import NULL_RECORDER
 from .flow import AckInfo, Flow
 from .receiver import FlowReceiver
 
@@ -54,6 +55,7 @@ class FlowSender:
         self.mtu = mtu
         self.noise = noise
         self.on_done = on_done
+        self.telemetry = getattr(sim, "telemetry", NULL_RECORDER)
 
         self.n_packets = (flow.size_bytes + mtu - 1) // mtu
         self._last_payload = flow.size_bytes - (self.n_packets - 1) * mtu
@@ -108,12 +110,18 @@ class FlowSender:
     # lifecycle
     # ------------------------------------------------------------------
     def _start(self) -> None:
+        tel = self.telemetry
+        if tel.enabled:
+            tel.flow_state(self.sim.now, self.flow.flow_id, "running")
         self.cc.on_start()
         self.try_send()
 
     def _finish(self) -> None:
         self.completed = True
         self.flow.sender_done_ns = self.sim.now
+        tel = self.telemetry
+        if tel.enabled:
+            tel.flow_state(self.sim.now, self.flow.flow_id, "done")
         for ev_name in ("_pace_ev", "_rto_ev", "_probe_ev"):
             ev = getattr(self, ev_name)
             if ev is not None:
@@ -225,6 +233,10 @@ class FlowSender:
             self._disarm_rto_if_idle()
             info = AckInfo(self.sim.now, delay, pkt.ecn_echo, 0, pkt.seq, pkt.int_hops, is_probe=True)
             self.cc.on_probe_ack(info)
+            tel = self.telemetry
+            if tel.enabled:
+                tel.probe(self.sim.now, self.flow.flow_id, "ack")
+                tel.cwnd_update(self.sim.now, self.flow.flow_id, self.cc.cwnd, delay)
             return
 
         seq = pkt.seq
@@ -240,6 +252,9 @@ class FlowSender:
             self.sim.now, delay, pkt.ecn_echo, newly, seq, pkt.int_hops, cum_seq=pkt.ack_seq
         )
         self.cc.on_ack(info)
+        tel = self.telemetry
+        if tel.enabled:
+            tel.cwnd_update(self.sim.now, self.flow.flow_id, self.cc.cwnd, delay)
         if self.acked_count == self.n_packets:
             self._finish()
             return
@@ -357,6 +372,9 @@ class FlowSender:
         pkt.local_prio = self.flow.src.local_data_queue(self.flow.vpriority)
         self.probe_outstanding = True
         self.flow.probes_sent += 1
+        tel = self.telemetry
+        if tel.enabled:
+            tel.probe(self.sim.now, self.flow.flow_id, "send")
         self.flow.src.send(pkt)
         self._arm_rto()
 

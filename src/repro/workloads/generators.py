@@ -10,7 +10,7 @@ senders with the CC under test.  They draw from a caller-provided
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence, Tuple
+from typing import List
 
 from .distributions import EmpiricalCdf
 

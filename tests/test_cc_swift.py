@@ -1,6 +1,5 @@
 """Unit tests for Swift (and its role as PrioPlus's inner CC)."""
 
-import math
 
 import pytest
 

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.channels import PAPER_A_NS, PAPER_B_NS, ChannelConfig
+from repro.core.channels import ChannelConfig
 
 
 def test_paper_parameters():

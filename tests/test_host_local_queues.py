@@ -53,7 +53,7 @@ def test_acks_always_jump_the_nic_queue():
     # ...while receiving a small flow whose ACKs b must emit through the
     # same NIC the blast is using
     small = Flow(2, a, b, 50_000, vpriority=1)
-    s_small = FlowSender(sim, net, small, CongestionControl(init_cwnd_bytes=50_000))
+    FlowSender(sim, net, small, CongestionControl(init_cwnd_bytes=50_000))
     sim.run(until=100_000_000)
     assert small.done
     # if ACKs queued behind the 2 MB blast, the small flow would take the

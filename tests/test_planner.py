@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.planner import PlanError, QueuePlan, TrafficClass, plan_queues
+from repro.core.planner import PlanError, TrafficClass, plan_queues
 
 
 def test_basic_plan():

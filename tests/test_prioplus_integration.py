@@ -1,6 +1,5 @@
 """End-to-end PrioPlus behaviour on real simulated networks."""
 
-import pytest
 
 from repro.cc.ledbat import Ledbat
 from repro.cc.swift import Swift, SwiftParams

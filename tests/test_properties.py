@@ -1,6 +1,5 @@
 """Cross-module property-based tests on simulator invariants."""
 
-import random
 
 from hypothesis import given, settings
 from hypothesis import strategies as st

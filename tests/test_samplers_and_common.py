@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.cc.swift import Swift, SwiftParams
-from repro.core import ChannelConfig, StartTier
+from repro.cc.swift import Swift
+from repro.core import StartTier
 from repro.experiments.common import (
     CCFactory,
     DelaySampler,

@@ -1,6 +1,5 @@
 """Fine-grained simulator behaviours: pipelining, ECMP diversity, timing."""
 
-import pytest
 
 from repro.cc.base import CongestionControl
 from repro.sim.engine import Simulator

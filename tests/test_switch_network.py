@@ -4,7 +4,7 @@ import pytest
 
 from repro.sim.engine import Simulator
 from repro.sim.network import Network
-from repro.sim.packet import DATA, HEADER_BYTES, MIN_PACKET_BYTES, Packet
+from repro.sim.packet import DATA, Packet
 from repro.sim.pfc import PfcConfig
 from repro.sim.switch import SwitchConfig, ecmp_hash
 from repro.topology import fat_tree, leaf_spine, multi_rack, star

@@ -1,0 +1,353 @@
+"""Telemetry layer: recorder parity, Perfetto export schema, metrics math,
+plus the engine/tracer observability fixes that ride along with it."""
+
+import json
+from collections import defaultdict
+
+import pytest
+
+from repro.analysis import PfcLogger, PortTracer
+from repro.cc.base import CongestionControl
+from repro.experiments.quickstart import run_quickstart
+from repro.sim.engine import Simulator
+from repro.sim.pfc import PfcConfig
+from repro.sim.switch import SwitchConfig
+from repro.telemetry import (
+    CHANNELS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Recorder,
+    current_recorder,
+    set_default_recorder,
+    to_perfetto,
+    write_events_jsonl,
+    write_perfetto,
+)
+from repro.topology import star
+from repro.transport.flow import Flow
+from repro.transport.sender import FlowSender
+
+
+@pytest.fixture(autouse=True)
+def _reset_default_recorder():
+    """Never leak an installed recorder into other tests."""
+    yield
+    set_default_recorder(None)
+
+
+def _pfc_heavy_scenario(seed=3):
+    """Small incast that triggers PFC pauses, ECN-free, finishes quickly."""
+    sim = Simulator(seed)
+    cfg = SwitchConfig(
+        n_queues=2,
+        buffer_bytes=64_000,
+        headroom_per_port_per_prio=8_000,
+        pfc=PfcConfig(enabled=True, xoff_bytes=4_000, dynamic=False),
+    )
+    net, senders, recv = star(sim, 2, rate_bps=100e9, link_delay_ns=100, switch_cfg=cfg)
+    net.path_ports(senders[0], recv)[-1].ns_per_byte = 8.0  # ~1 Gbps bottleneck
+    f = Flow(1, senders[0], recv, 100_000)
+    FlowSender(sim, net, f, CongestionControl(init_cwnd_bytes=100_000))
+    sim.run(until=2_000_000_000)
+    assert f.done
+    return sim, f
+
+
+# ----------------------------------------------------------------------
+# recorder on/off parity
+# ----------------------------------------------------------------------
+def test_results_identical_with_and_without_recorder():
+    base = run_quickstart(low_bytes=300_000, high_bytes=100_000)
+    rec = Recorder()
+    set_default_recorder(rec)
+    try:
+        traced = run_quickstart(low_bytes=300_000, high_bytes=100_000)
+    finally:
+        set_default_recorder(None)
+    snap = traced.pop("telemetry")
+    assert json.dumps(base, sort_keys=True) == json.dumps(traced, sort_keys=True)
+    assert snap["event_counts"]["cwnd"] > 0
+    assert snap["metrics"]["counters"]["probe.sent"] >= 1
+
+
+def test_recorder_does_not_consume_rng_or_schedule_events():
+    def run(with_recorder):
+        if with_recorder:
+            set_default_recorder(Recorder())
+        try:
+            sim, f = _pfc_heavy_scenario()
+        finally:
+            set_default_recorder(None)
+        return f.fct_ns(), sim.rng.random(), sim.events_processed
+
+    assert run(False) == run(True)
+
+
+def test_default_recorder_adopted_by_new_simulators():
+    rec = Recorder()
+    set_default_recorder(rec)
+    try:
+        sim = Simulator()
+        assert sim.telemetry is rec
+        assert current_recorder() is rec
+    finally:
+        set_default_recorder(None)
+    assert current_recorder() is None
+    assert Simulator().telemetry.enabled is False
+
+
+def test_channel_filtering_and_unknown_channel():
+    rec = Recorder(channels=("pfc",))
+    rec.queue_depth(10, "p", 0, 100, 100)
+    rec.pfc(10, "sw", 0, 0, True, 5_000)
+    assert rec.events["queue"] == []
+    assert len(rec.events["pfc"]) == 1
+    with pytest.raises(ValueError):
+        Recorder(channels=("nope",))
+    assert set(CHANNELS) >= {"flow_state", "queue", "pfc", "link", "buffer"}
+
+
+def test_metrics_only_mode_keeps_no_events():
+    rec = Recorder(events=False)
+    set_default_recorder(rec)
+    try:
+        _pfc_heavy_scenario()
+    finally:
+        set_default_recorder(None)
+    assert rec.event_counts() == {}
+    assert rec.metrics.counters["pfc.pauses"].value >= 1
+
+
+# ----------------------------------------------------------------------
+# Perfetto export schema
+# ----------------------------------------------------------------------
+def _record_quickstart():
+    rec = Recorder()
+    set_default_recorder(rec)
+    try:
+        run_quickstart(low_bytes=300_000, high_bytes=100_000)
+    finally:
+        set_default_recorder(None)
+    return rec
+
+
+def test_perfetto_trace_is_valid_and_ordered(tmp_path):
+    rec = _record_quickstart()
+    path = tmp_path / "trace.json"
+    n = write_perfetto(rec, str(path))
+    trace = json.loads(path.read_text())  # must round-trip as valid JSON
+    events = trace["traceEvents"]
+    assert len(events) == n > 0
+    assert trace["displayTimeUnit"] == "ns"
+    # timestamps are monotonic across the non-metadata stream
+    ts = [e["ts"] for e in events if e["ph"] != "M"]
+    assert ts == sorted(ts)
+    assert all(t >= 0 for t in ts)
+
+    # B/E strictly matched per (pid, tid): never unbalanced, zero at the end
+    depth = defaultdict(int)
+    for e in events:
+        key = (e["pid"], e.get("tid", 0))
+        if e["ph"] == "B":
+            depth[key] += 1
+        elif e["ph"] == "E":
+            depth[key] -= 1
+            assert depth[key] >= 0, f"E without B on track {key}"
+    assert all(v == 0 for v in depth.values())
+
+    # the acceptance-criteria content: flow-state spans + queue counters
+    span_names = {e["name"] for e in events if e["ph"] == "B"}
+    assert {"running", "probe_wait", "linear_start"} <= span_names
+    counter_names = {e["name"] for e in events if e["ph"] == "C"}
+    assert any("q0" in name for name in counter_names)
+    assert any(name.startswith("cwnd") for name in counter_names)
+
+
+def test_perfetto_trace_contains_pfc_pause_spans():
+    rec = Recorder()
+    set_default_recorder(rec)
+    try:
+        _pfc_heavy_scenario()
+    finally:
+        set_default_recorder(None)
+    trace = to_perfetto(rec)
+    pauses = [e for e in trace["traceEvents"] if e.get("ph") == "B" and e["name"] == "PAUSE"]
+    assert pauses, "PFC pause spans missing from trace"
+    assert all(e["cat"] == "pfc" for e in pauses)
+
+
+def test_events_jsonl_schema(tmp_path):
+    rec = _record_quickstart()
+    path = tmp_path / "events.jsonl"
+    n = write_events_jsonl(rec, str(path))
+    lines = path.read_text().splitlines()
+    assert len(lines) == n == sum(rec.event_counts().values())
+    last_t = 0
+    seen = set()
+    for line in lines:
+        obj = json.loads(line)
+        assert obj["ch"] in CHANNELS
+        assert obj["t"] >= last_t
+        last_t = obj["t"]
+        seen.add(obj["ch"])
+    assert {"flow_state", "cwnd", "queue", "link"} <= seen
+
+
+# ----------------------------------------------------------------------
+# metrics arithmetic
+# ----------------------------------------------------------------------
+def test_counter_and_registry_snapshot():
+    reg = MetricsRegistry()
+    reg.counter("a").inc()
+    reg.counter("a").inc(4)
+    assert reg.counter("a") is reg.counters["a"]
+    snap = reg.snapshot()
+    assert snap["counters"]["a"] == 5
+    assert isinstance(Counter(), Counter)
+
+
+def test_gauge_time_weighted_mean():
+    g = Gauge()
+    g.set(0, 10)
+    g.set(10, 20)  # 10 held for [0,10)
+    g.set(30, 0)  # 20 held for [10,30)
+    # integral so far: 10*10 + 20*20 = 500 over 30ns
+    assert g.time_weighted_mean() == pytest.approx(500 / 30)
+    # extending the horizon holds the last value (0) → integral unchanged
+    assert g.time_weighted_mean(until_t=50) == pytest.approx(500 / 50)
+    assert g.min == 0 and g.max == 20 and g.samples == 3
+
+
+def test_histogram_mean_and_percentiles():
+    h = Histogram()
+    for v in (1, 2, 4, 8):
+        h.observe(v)
+    assert h.count == 4
+    assert h.mean() == pytest.approx((1 + 2 + 4 + 8) / 4)
+    assert h.min == 1 and h.max == 8
+    assert 0 < h.percentile(50) <= 4
+    assert h.percentile(100) >= 4
+    with pytest.raises(ValueError):
+        h.percentile(101)
+
+
+def test_histogram_time_weighting():
+    h = Histogram()
+    h.observe(100, weight=9.0)
+    h.observe(1000, weight=1.0)
+    # weighted mean: (100*9 + 1000*1) / 10
+    assert h.mean() == pytest.approx(190.0)
+    assert h.percentile(50) <= 128  # median falls in the 100s bucket
+
+
+def test_empty_metrics_are_safe():
+    assert Gauge().time_weighted_mean() == 0.0
+    h = Histogram()
+    assert h.mean() == 0.0
+    assert h.percentile(50) == 0.0
+    assert MetricsRegistry().snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+# ----------------------------------------------------------------------
+# engine: O(1) pending + heap compaction (satellite)
+# ----------------------------------------------------------------------
+def test_pending_counter_tracks_cancellations():
+    sim = Simulator()
+    handles = [sim.at(i + 1, lambda: None) for i in range(10)]
+    assert sim.pending == 10
+    for h in handles[:4]:
+        h.cancel()
+        h.cancel()  # idempotent: must not double-decrement
+    assert sim.pending == 6
+    sim.run()
+    assert sim.pending == 0
+    assert sim.events_processed == 6
+
+
+def test_cancel_after_fire_is_noop_for_counters():
+    sim = Simulator()
+    h = sim.at(5, lambda: None)
+    sim.run()
+    assert sim.pending == 0
+    h.cancel()  # already fired: nothing to undo
+    assert sim.pending == 0
+
+
+def test_heap_compaction_bounds_cancelled_entries():
+    sim = Simulator()
+    handles = [sim.at(1_000_000 + i, lambda: None) for i in range(500)]
+    assert len(sim._heap) == 500
+    for h in handles[:400]:
+        h.cancel()
+    # compaction triggered once cancelled entries exceeded half the heap
+    assert len(sim._heap) < 500
+    assert sim.pending == 100
+    fired = []
+    sim.at(2_000_000, fired.append, "end")
+    sim.run()
+    assert fired == ["end"]
+    assert len(sim._heap) == 0
+
+
+def test_compaction_preserves_event_order():
+    sim = Simulator()
+    fired = []
+    keep = [sim.at(t, fired.append, t) for t in range(100, 300, 2)]  # noqa: F841
+    drop = [sim.at(t, fired.append, t) for t in range(101, 301, 2)]
+    for h in drop:
+        h.cancel()
+    sim.run()
+    assert fired == list(range(100, 300, 2))
+
+
+# ----------------------------------------------------------------------
+# PortTracer: stop() / horizon (satellite)
+# ----------------------------------------------------------------------
+def test_port_tracer_horizon_lets_run_terminate():
+    sim = Simulator(1)
+    net, senders, recv = star(sim, 1, switch_cfg=SwitchConfig(n_queues=2))
+    tracer = PortTracer(sim, senders[0].port, interval_ns=1_000, horizon_ns=50_000)
+    sim.run()  # no `until`: would never return if the tracer pinned the heap
+    assert sim.now <= 50_000
+    assert len(tracer.samples) == 50
+
+
+def test_port_tracer_stop_cancels_pending_tick():
+    sim = Simulator(1)
+    net, senders, recv = star(sim, 1, switch_cfg=SwitchConfig(n_queues=2))
+    tracer = PortTracer(sim, senders[0].port, interval_ns=1_000)
+    sim.run(until=5_500)
+    assert len(tracer.samples) == 5
+    tracer.stop()
+    assert sim.pending == 0
+    sim.run()  # terminates: nothing left
+    assert len(tracer.samples) == 5
+    tracer.stop()  # idempotent
+
+
+# ----------------------------------------------------------------------
+# PfcLogger on the first-class switch hook (satellite)
+# ----------------------------------------------------------------------
+def test_pfc_logger_can_install_after_traffic_started():
+    sim = Simulator(3)
+    cfg = SwitchConfig(
+        n_queues=2,
+        buffer_bytes=64_000,
+        headroom_per_port_per_prio=8_000,
+        pfc=PfcConfig(enabled=True, xoff_bytes=4_000, dynamic=False),
+    )
+    net, senders, recv = star(sim, 2, rate_bps=100e9, link_delay_ns=100, switch_cfg=cfg)
+    net.path_ports(senders[0], recv)[-1].ns_per_byte = 8.0
+    f = Flow(1, senders[0], recv, 100_000)
+    FlowSender(sim, net, f, CongestionControl(init_cwnd_bytes=100_000))
+    sim.run(until=10_000)  # traffic (and PFC state machines) already exist
+    logger = PfcLogger(sim, net.switches[0])  # late install: the old footgun
+    sim.run(until=2_000_000_000)
+    assert f.done
+    assert logger.pause_count() >= 1
+    assert logger.resume_count() >= 1
+    logger.detach()
+    assert net.switches[0].pfc_listeners == []
+    logger.detach()  # idempotent

@@ -21,7 +21,6 @@ def test_port_tracer_sees_queue_buildup():
     sim = Simulator(1)
     cfg = SwitchConfig(n_queues=2, buffer_bytes=8 * 1024 * 1024)
     net, senders, recv = star(sim, 2, rate_bps=10e9, link_delay_ns=1000, switch_cfg=cfg)
-    sw = net.switches[0]
     bottleneck = net.path_ports(senders[0], recv)[-1]
     tracer = PortTracer(sim, bottleneck, interval_ns=5_000)
     for i in range(2):

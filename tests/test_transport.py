@@ -3,9 +3,8 @@
 import pytest
 
 from repro.cc.base import CongestionControl
-from repro.cc.swift import Swift, SwiftParams
+from repro.cc.swift import Swift
 from repro.sim.engine import Simulator
-from repro.sim.packet import DATA, Packet
 from repro.sim.pfc import PfcConfig
 from repro.sim.switch import SwitchConfig
 from repro.topology import star
