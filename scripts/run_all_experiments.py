@@ -1,198 +1,127 @@
 #!/usr/bin/env python3
-"""Run every experiment at record scale and print the EXPERIMENTS.md tables.
+"""Run every registered experiment through the parallel runner.
 
-This is the heavyweight companion to ``pytest benchmarks/``: larger sweeps,
-more priority counts, both coflow loads, the full Fig 13 grid.  Expect
-~10-20 minutes.
+Each experiment's independent points are sharded across a process pool
+(``--jobs``, default: all cores) and its reduced result is written to one
+JSON artifact per experiment under ``--out``.  With ``--cache`` a rerun
+skips every point whose result is already on disk, so an interrupted sweep
+resumes where it stopped.
 
-Usage:  python scripts/run_all_experiments.py [--quick]
+Usage:
+    python scripts/run_all_experiments.py                       # everything, parallel
+    python scripts/run_all_experiments.py --serial              # one process
+    python scripts/run_all_experiments.py --only fig8,fig10c
+    python scripts/run_all_experiments.py --cache .cache/repro --out results/
+
+Expect tens of minutes for the full set; ``--only`` is the practical way to
+iterate on one figure.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 import time
 
 from repro.analysis import buffer_bandwidth_ratios, start_strategy_costs
-from repro.experiments.common import Mode
-from repro.experiments.coflow_scenario import run_coflow_comparison
-from repro.experiments.fig3_micro import run_fig3a, run_fig3b, run_fig3c, run_fig3d
-from repro.experiments.fig6_dualrtt import run_fig6
-from repro.experiments.fig8_testbed import run_fig8
-from repro.experiments.fig9_fluct import run_fig9
-from repro.experiments.fig10_micro import run_fig10a, run_fig10b, run_fig10c, run_fig10d
-from repro.experiments.fig12_coflow import ci_config
-from repro.experiments.fig13_noncongestive import run_fig13
-from repro.experiments.fig14_breakdown import normalize_to_physical, run_fig14
-from repro.experiments.fig16_ack_hpcc import run_fig16
-from repro.experiments.flowsched import FlowSchedConfig, run_flowsched
-from repro.experiments.ablations import (
-    run_cardinality_ablation,
-    run_collision_avoidance_ablation,
-    run_filter_ablation,
-)
-from repro.experiments.ecn_priority import run_ecn_priority
-from repro.experiments.headroom_pressure import run_headroom_sweep
-from repro.experiments.mltrain import MlTrainConfig, run_mltrain_comparison
+from repro.experiments.common import REGISTRY
 from repro.experiments.report import print_table
-from repro.experiments.table2_validation import run_table2_validation
-from repro.sim.engine import MILLISECOND
+from repro.runner import RunnerError, run_experiment
+from repro.runner.cache import json_safe
 
 
-def section(title: str):
-    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
+def _analysis_tables() -> None:
+    """The two pure-analysis tables that need no simulation."""
+    print("Fig 2 — buffer/bandwidth ratios")
+    print_table(
+        ["chip", "year", "MB/Tbps"],
+        [(n, y, round(r, 1)) for n, y, r in buffer_bandwidth_ratios()],
+    )
+    print("\nTable 2 — analytic start-strategy costs (n = 8 RTTs)")
+    costs = start_strategy_costs(8)
+    print_table(
+        ["strategy", "bytes delayed (BDP)", "max extra buffer (BDP)"],
+        [(k, v["bytes_delayed_bdp"], v["max_extra_buffer_bdp"]) for k, v in costs.items()],
+    )
 
 
 def main() -> int:
-    parser = argparse.ArgumentParser()
-    parser.add_argument("--quick", action="store_true", help="benchmark-scale instead of record-scale")
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=os.cpu_count() or 1,
+        metavar="N",
+        help="worker processes per experiment (default: all cores)",
+    )
+    parser.add_argument(
+        "--serial", action="store_true", help="run everything in this process (implies --jobs 1)"
+    )
+    parser.add_argument("--cache", metavar="DIR", help="content-addressed result cache directory")
+    parser.add_argument(
+        "--out", default="results", metavar="DIR", help="per-experiment JSON artifact directory"
+    )
+    parser.add_argument(
+        "--only",
+        metavar="NAMES",
+        help="comma-separated experiment names to run (default: all registered)",
+    )
+    parser.add_argument(
+        "--no-tables", action="store_true", help="skip the pure-analysis tables"
+    )
     args = parser.parse_args()
-    quick = args.quick
+    jobs = 1 if args.serial else max(1, args.jobs)
+
+    REGISTRY.load_all()
+    names = REGISTRY.names()
+    if args.only:
+        wanted = [n.strip() for n in args.only.split(",") if n.strip()]
+        unknown = sorted(set(wanted) - set(names))
+        if unknown:
+            print(f"unknown experiments: {unknown}; known: {names}", file=sys.stderr)
+            return 2
+        names = wanted
+
+    if not args.no_tables:
+        _analysis_tables()
+
+    os.makedirs(args.out, exist_ok=True)
     t_start = time.time()
+    failures = []
+    for name in names:
+        experiment = REGISTRY.get(name)
+        report: dict = {}
+        t0 = time.time()
+        try:
+            result = run_experiment(
+                experiment, jobs=jobs, cache=args.cache, progress=True, report=report
+            )
+        except RunnerError as exc:
+            failures.append(name)
+            print(f"FAILED {name}: {exc}", file=sys.stderr)
+            continue
+        artifact = {
+            "experiment": name,
+            "description": getattr(experiment, "description", ""),
+            "report": report,
+            "result": json_safe(result),
+        }
+        path = os.path.join(args.out, f"{name}.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(artifact, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(
+            f"{name}: {report.get('points', '?')} points, "
+            f"{report.get('cache_hits', 0)} cached, "
+            f"{time.time() - t0:.1f}s -> {path}"
+        )
 
-    section("Fig 2 — buffer/bandwidth ratios")
-    print_table(["chip", "year", "MB/Tbps"],
-                [(n, y, round(r, 1)) for n, y, r in buffer_bandwidth_ratios()])
-
-    section("Table 2 — start strategies (n = 8 RTTs)")
-    costs = start_strategy_costs(8)
-    print_table(["strategy", "bytes delayed (BDP)", "max extra buffer (BDP)"],
-                [(k, v["bytes_delayed_bdp"], v["max_extra_buffer_bdp"]) for k, v in costs.items()])
-
-    section("Fig 3 — existing CCs cannot do virtual priority")
-    print("3a D2TCP:", run_fig3a(size_bytes=1_000_000))
-    print("3b Swift+scaling:", run_fig3b(duration_ns=3 * MILLISECOND))
-    print("3c Swift w/o scaling:", run_fig3c(n_low=100 if quick else 300, duration_ns=4 * MILLISECOND))
-    print("3d min-rate trade-off:", run_fig3d())
-
-    section("Fig 6 — dual-RTT observability")
-    print(run_fig6())
-
-    section("Fig 8 — testbed staircase (priorities 3-6)")
-    stagger = (2 if quick else 4) * MILLISECOND
-    for mode in (Mode.PRIOPLUS, Mode.SWIFT_TARGETS):
-        r = run_fig8(mode, stagger_ns=stagger)
-        print(f"{mode}: takeover_us={[round(t) for t in r['takeover_us']]} "
-              f"reclaim_us={[round(t) for t in r['reclaim_us']]} "
-              f"leak={r['max_leak_share']:.3f} util={r['utilization']:.3f}")
-
-    section("Fig 9 — fluctuation management (inflated W_AI)")
-    for mode in (Mode.PRIOPLUS, Mode.SWIFT_TARGETS):
-        print(run_fig9(mode, duration_ns=(6 if quick else 10) * MILLISECOND))
-
-    section("Fig 10 — micro-benchmarks")
-    r = run_fig10a(
-        n_priorities=4 if quick else 8,
-        flows_per_prio=5 if quick else 15,
-        rate=25e9 if quick else 100e9,
-        stagger_ns=(1 if quick else 2) * MILLISECOND,
-    )
-    print("10a:", {k: r[k] for k in ("max_leak_share", "max_reclaim_us", "utilization")})
-    print("10b:", run_fig10b(n_flows=60 if quick else 300, rate=25e9 if quick else 100e9,
-                             duration_ns=3 * MILLISECOND))
-    for dual in (True, False):
-        print("10c dual=%s:" % dual,
-              run_fig10c(dual, n_each=5 if quick else 10, rate=25e9 if quick else 100e9,
-                         duration_ns=2 * MILLISECOND, hi_start_ns=700_000))
-    print("10d:", run_fig10d(noise_scales=(1.0, 2.0, 4.0, 8.0), n_flows=3 if quick else 5,
-                             rate=25e9, duration_ns=1_500_000))
-
-    section("Fig 11 — flow scheduling FCT vs #priorities")
-    cfg = FlowSchedConfig(rate_bps=100e9, duration_ns=(300_000 if quick else 600_000), size_scale=0.1)
-    prios = (4, 8) if quick else (2, 4, 6, 8, 10, 12)
-    rows = []
-    for n in prios:
-        for mode in (Mode.PRIOPLUS, Mode.PHYSICAL, Mode.PHYSICAL_IDEAL, Mode.PHYSICAL_IDEAL_NOCC):
-            if mode == Mode.PHYSICAL and n > 8:
-                continue
-            r = run_flowsched(mode, n, cfg)
-            fct = r["fct"]
-            rows.append([
-                n, mode, r["pfc_pauses"],
-                round(fct["all"]["mean_us"], 1), round(fct["all"]["p99_us"], 1),
-                round(fct.get("small", {}).get("mean_us", float("nan")), 1),
-                round(fct.get("middle", {}).get("mean_us", float("nan")), 1),
-                round(fct.get("large", {}).get("mean_us", float("nan")), 1),
-            ])
-            print(f"  ... n={n} {mode} done")
-    print_table(["#prios", "mode", "pfc", "all mean", "all p99", "small", "middle", "large"], rows)
-
-    section("Fig 12a/12b/15 — coflow speedups")
-    for load in (0.4, 0.7):
-        c = ci_config(load=load, duration_ns=(1_500_000 if quick else 2_500_000))
-        res = run_coflow_comparison([Mode.PRIOPLUS, Mode.PHYSICAL], c)
-        print(f"load={load} jobs={res['n_jobs']}")
-        for mode, s in res["speedups"].items():
-            print(f"  {mode}: {({k: round(v, 3) for k, v in s.items()})}")
-
-    section("Fig 12c — ML training")
-    res = run_mltrain_comparison(cfg=MlTrainConfig(duration_ns=(8 if quick else 16) * MILLISECOND))
-    print("baseline iters:", {k: round(v, 2) for k, v in res["baseline"]["iters_per_job"].items()})
-    for mode, s in res["speedups"].items():
-        print(f"  {mode}: {({k: round(v, 3) for k, v in s.items()})}")
-
-    section("Fig 13 — non-congestive delay grid")
-    grid = run_fig13(
-        tolerances_us=(10.0, 20.0, 30.0),
-        ranges_us=(0.0, 8.0, 16.0, 24.0, 32.0, 40.0) if not quick else (0.0, 16.0, 40.0),
-        stagger_ns=500_000,
-    )
-    for tol, series in grid.items():
-        print(f"  tolerance {tol} us:", {k: round(v, 3) for k, v in series.items()})
-
-    section("Fig 14 — per-priority-level breakdown")
-    cfg14 = FlowSchedConfig(rate_bps=100e9, duration_ns=(400_000 if quick else 700_000),
-                            size_scale=0.1, load=0.5)
-    results = {}
-    for mode in (Mode.PRIOPLUS, Mode.PHYSICAL_IDEAL, Mode.PHYSICAL_IDEAL_NOCC, Mode.D2TCP):
-        results[mode] = run_fig14(mode, n_priorities=6 if quick else 12, cfg=cfg14)
-        print(f"  ... {mode} done")
-    norm = normalize_to_physical(results)
-    for mode, cells in norm.items():
-        print(f"  {mode}: " + ", ".join(f"{t}/{b}={v:.2f}" for (t, b), v in sorted(cells.items())))
-
-    section("Fig 16 — PrioPlus* and HPCC (flow scheduling)")
-    for r in run_fig16(cfg=FlowSchedConfig(rate_bps=100e9, duration_ns=(300_000 if quick else 500_000), size_scale=0.1)):
-        print(f"  {r['mode']}: mean={r['fct']['all']['mean_us']:.1f}us p99={r['fct']['all']['p99_us']:.1f}us")
-
-    section("Fig 17 — lossy environment (PFC off, IRN-style)")
-    res = run_coflow_comparison([Mode.PRIOPLUS, Mode.PHYSICAL],
-                                ci_config(load=0.7, duration_ns=1_500_000, lossy=True))
-    for mode, s in res["speedups"].items():
-        print(f"  {mode}: {({k: round(v, 3) for k, v in s.items()})}")
-
-    section("Fig 18 — coflows with HPCC and Physical w/o CC")
-    res = run_coflow_comparison([Mode.PRIOPLUS, Mode.HPCC, Mode.PHYSICAL_IDEAL_NOCC],
-                                ci_config(load=0.7, duration_ns=1_500_000))
-    for mode, s in res["speedups"].items():
-        print(f"  {mode}: {({k: round(v, 3) for k, v in s.items()})}")
-
-    section("Table 2 — empirical start-strategy validation")
-    for name, v in run_table2_validation().items():
-        print(f"  {name}: peak extra buffer {v['peak_extra_buffer_bdp']:.3f} BDP, "
-              f"FCT {v['fct_ns'] / 1e3:.1f} us")
-
-    section("Ablations — filter / cardinality / collision avoidance")
-    for fc in (2, 1):
-        print(" ", run_filter_ablation(fc))
-    for ce in (True, False):
-        print(" ", run_cardinality_ablation(ce))
-    for ca in (True, False):
-        print(" ", run_collision_avoidance_ablation(ca))
-
-    section("Appendix B — per-priority ECN marking")
-    print("  uniform:", run_ecn_priority(False))
-    print("  per-priority:", run_ecn_priority(True))
-
-    section("§2.2 — headroom vs shared pool")
-    for r in run_headroom_sweep(n_priorities_list=(2, 4, 6, 8), n_senders=32,
-                                buffer_mb_per_tbps=2.0, headroom_bytes=12_000,
-                                duration_ns=2_000_000):
-        print(f"  {r['mode']} n={r['n_priorities']}: shared={r['shared_pool_bytes'] // 1024}KB "
-              f"pfc={int(r['pfc_pauses'])} small_p99={r['small_p99_us']:.0f}us")
-
-    print(f"\nTotal wall time: {time.time() - t_start:.0f} s")
+    print(f"\nTotal wall time: {time.time() - t_start:.0f} s ({len(names)} experiments, jobs={jobs})")
+    if failures:
+        print(f"failed: {failures}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -1,11 +1,16 @@
-"""Command-line entry point: ``python -m repro <experiment> [options]``.
+"""Command-line entry point: ``python -m repro [run] <experiment> [options]``.
 
 Lists and runs individual paper experiments without writing a script:
 
     python -m repro --list
     python -m repro fig8
-    python -m repro fig10c
-    python -m repro table2
+    python -m repro run fig10c --jobs 4          # shard points across cores
+    python -m repro run fig12 --jobs 4 --cache .cache/repro
+
+Every experiment is a registered :class:`repro.experiments.common.Experiment`
+dispatched through :func:`repro.runner.run_experiment`; ``--jobs N`` fans the
+experiment's independent points over a process pool and ``--cache DIR`` skips
+points whose results are already on disk (see docs/RUNNER.md).
 
 Observability (see docs/OBSERVABILITY.md): any experiment can be run with the
 flight recorder on, producing a Perfetto-loadable trace and/or structured
@@ -14,6 +19,10 @@ event and metric dumps:
     python -m repro quickstart --trace run.json      # open in ui.perfetto.dev
     python -m repro fig6 --events run.jsonl          # JSONL event dump
     python -m repro fig8 --metrics                   # embed metrics in output
+
+The runner itself can be benchmarked (serial vs parallel wall time):
+
+    python -m repro bench --quick --out BENCH_runner.json
 """
 
 from __future__ import annotations
@@ -23,104 +32,69 @@ import json
 import sys
 from typing import Callable, Dict
 
-from .experiments.ablations import (
-    run_cardinality_ablation,
-    run_collision_avoidance_ablation,
-    run_filter_ablation,
-)
-from .experiments.common import Mode
-from .experiments.ecn_priority import run_ecn_priority
-from .experiments.fig3_micro import run_fig3a, run_fig3b, run_fig3c, run_fig3d
-from .experiments.fig6_dualrtt import run_fig6
-from .experiments.fig8_testbed import run_fig8
-from .experiments.fig9_fluct import run_fig9
-from .experiments.fig10_micro import run_fig10a, run_fig10b, run_fig10c, run_fig10d
-from .experiments.fig12_coflow import ci_config, run_fig12ab, run_fig17, run_fig18
-from .experiments.fig13_noncongestive import run_fig13_point
-from .experiments.mltrain import run_mltrain_comparison
-from .experiments.quickstart import run_quickstart
-from .experiments.table2_validation import run_table2_validation
+from .experiments.common import REGISTRY
+from .runner import run_bench, run_experiment, write_bench
+from .runner.cache import json_safe
 from .telemetry import Recorder, set_default_recorder, write_events_jsonl, write_perfetto
 
+REGISTRY.load_all()
 
-def _fig8_both() -> dict:
-    return {
-        "prioplus": run_fig8(Mode.PRIOPLUS, stagger_ns=2_000_000),
-        "swift_targets": run_fig8(Mode.SWIFT_TARGETS, stagger_ns=2_000_000),
-    }
-
-
-def _fig9_both() -> dict:
-    return {
-        "prioplus": run_fig9(Mode.PRIOPLUS),
-        "swift_targets": run_fig9(Mode.SWIFT_TARGETS),
-    }
-
-
-def _fig10c_both() -> dict:
-    return {
-        "dual_rtt": run_fig10c(True),
-        "every_rtt": run_fig10c(False),
-    }
-
-
-def _ablations() -> dict:
-    return {
-        "collision_avoidance": [run_collision_avoidance_ablation(v) for v in (True, False)],
-        "filter": [run_filter_ablation(v) for v in (2, 1)],
-        "cardinality": [run_cardinality_ablation(v) for v in (True, False)],
-    }
-
-
-def _ecn() -> dict:
-    return {
-        "uniform": run_ecn_priority(False),
-        "per_priority": run_ecn_priority(True),
-    }
-
-
+#: Deprecated compatibility surface: experiment name -> zero-argument callable.
+#: Prefer ``REGISTRY.get(name)`` + :func:`repro.runner.run_experiment`.
 EXPERIMENTS: Dict[str, Callable[[], object]] = {
-    "fig3a": run_fig3a,
-    "fig3b": run_fig3b,
-    "fig3c": run_fig3c,
-    "fig3d": run_fig3d,
-    "fig6": run_fig6,
-    "fig8": _fig8_both,
-    "fig9": _fig9_both,
-    "fig10a": run_fig10a,
-    "fig10b": run_fig10b,
-    "fig10c": _fig10c_both,
-    "fig10d": run_fig10d,
-    "fig12": lambda: run_fig12ab(cfg=ci_config(load=0.7, duration_ns=1_500_000)),
-    "fig13": lambda: {"gap@6us": run_fig13_point(10.0, 6.0, stagger_ns=500_000),
-                      "gap@40us": run_fig13_point(10.0, 40.0, stagger_ns=500_000)},
-    "fig12c": run_mltrain_comparison,
-    "fig17": lambda: run_fig17(ci_config(load=0.7, duration_ns=1_200_000, lossy=True)),
-    "fig18": lambda: run_fig18(ci_config(load=0.7, duration_ns=1_200_000)),
-    "table2": run_table2_validation,
-    "ablations": _ablations,
-    "ecn-priority": _ecn,
-    "quickstart": run_quickstart,
+    name: REGISTRY.get(name).run_serial for name in REGISTRY.names()
 }
 
 
-def _jsonable(obj):
-    if isinstance(obj, dict):
-        return {str(k): _jsonable(v) for k, v in obj.items()}
-    if isinstance(obj, (list, tuple)):
-        return [_jsonable(v) for v in obj]
-    if isinstance(obj, (int, float, str, bool)) or obj is None:
-        return obj
-    return repr(obj)
+def _bench_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description="Benchmark the parallel runner (serial vs sharded wall time).",
+    )
+    parser.add_argument("--quick", action="store_true", help="small CI-scale suite")
+    parser.add_argument("--jobs", type=int, default=None, help="parallel worker count")
+    parser.add_argument(
+        "--out", default="BENCH_runner.json", metavar="PATH", help="benchmark artifact path"
+    )
+    args = parser.parse_args(argv)
+    snapshot = run_bench(quick=args.quick, jobs=args.jobs)
+    write_bench(snapshot, args.out)
+    print(f"wrote {args.out}", file=sys.stderr)
+    print(json.dumps(json_safe(snapshot), indent=2))
+    return 0
 
 
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "bench":
+        return _bench_main(argv[1:])
+    if argv and argv[0] == "run":
+        # `run` is an optional explicit subcommand: `repro run fig8 --jobs 4`
+        argv = argv[1:]
+
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Run individual PrioPlus-paper experiments at benchmark scale.",
     )
     parser.add_argument("experiment", nargs="?", help="experiment name (see --list)")
     parser.add_argument("--list", action="store_true", help="list available experiments")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run the experiment's points on N worker processes (default: 1, in-process)",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="DIR",
+        help="reuse/store per-point results in the content-addressed cache at DIR",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print per-point progress and ETA to stderr",
+    )
     parser.add_argument(
         "--trace",
         metavar="PATH",
@@ -140,13 +114,22 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if args.list or not args.experiment:
-        for name in sorted(EXPERIMENTS):
+        for name in REGISTRY.names():
             print(name)
         return 0
-    runner = EXPERIMENTS.get(args.experiment)
-    if runner is None:
+    try:
+        experiment = REGISTRY.get(args.experiment)
+    except KeyError:
         print(f"unknown experiment {args.experiment!r}; use --list", file=sys.stderr)
         return 2
+
+    if (args.trace or args.events) and args.jobs > 1:
+        print(
+            "note: --trace/--events record simulator events only for in-process "
+            "execution; forcing --jobs 1",
+            file=sys.stderr,
+        )
+        args.jobs = 1
 
     recorder = None
     if args.trace or args.events or args.metrics:
@@ -154,7 +137,12 @@ def main(argv=None) -> int:
         recorder = Recorder(events=bool(args.trace or args.events))
         set_default_recorder(recorder)
     try:
-        result = runner()
+        result = run_experiment(
+            experiment,
+            jobs=args.jobs,
+            cache=args.cache,
+            progress=args.progress,
+        )
     finally:
         if recorder is not None:
             set_default_recorder(None)
@@ -168,7 +156,7 @@ def main(argv=None) -> int:
         if args.metrics and isinstance(result, dict) and "telemetry" not in result:
             result = dict(result)
             result["telemetry"] = recorder.snapshot()
-    print(json.dumps(_jsonable(result), indent=2))
+    print(json.dumps(json_safe(result), indent=2))
     return 0
 
 

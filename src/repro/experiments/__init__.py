@@ -1,1 +1,14 @@
-"""One experiment runner per figure/table of the paper (see DESIGN.md)."""
+"""One experiment module per figure/table of the paper (see DESIGN.md).
+
+Every module registers its experiments behind the uniform protocol in
+:mod:`repro.experiments.common` -- ``Point`` / ``Experiment`` /
+``FunctionExperiment`` -- into the module-level ``REGISTRY``::
+
+    from repro.experiments.common import get_experiment
+    from repro.runner import run_experiment
+
+    result = run_experiment(get_experiment("fig10c"), jobs=4)
+
+The historical ``run_figX*`` functions remain as deprecated serial
+wrappers over the same code (see docs/RUNNER.md).
+"""

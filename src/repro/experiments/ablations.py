@@ -22,7 +22,7 @@ from ..sim.switch import SwitchConfig
 from ..topology import star
 from ..transport.flow import Flow
 from ..transport.sender import FlowSender
-from .common import DelaySampler, RateSampler
+from .common import DelaySampler, FunctionExperiment, RateSampler, register
 
 __all__ = [
     "run_collision_avoidance_ablation",
@@ -156,3 +156,29 @@ def run_cardinality_ablation(
         "max_nflow": max(s.cc.nflow for s in snds),
         "relinquishes": sum(s.cc.relinquish_count for s in snds),
     }
+
+
+def _reduce_ablations(results: Dict[str, dict]) -> Dict[str, list]:
+    """Regroup the six ablation points into the legacy on/off-pair layout."""
+    return {
+        "collision_avoidance": [results["collision_on"], results["collision_off"]],
+        "filter": [results["filter_2"], results["filter_1"]],
+        "cardinality": [results["cardinality_on"], results["cardinality_off"]],
+    }
+
+
+register(
+    FunctionExperiment(
+        "ablations",
+        {
+            "collision_on": (run_collision_avoidance_ablation, {"collision_avoidance": True, "seed": 3}),
+            "collision_off": (run_collision_avoidance_ablation, {"collision_avoidance": False, "seed": 3}),
+            "filter_2": (run_filter_ablation, {"filter_consecutive": 2, "seed": 5}),
+            "filter_1": (run_filter_ablation, {"filter_consecutive": 1, "seed": 5}),
+            "cardinality_on": (run_cardinality_ablation, {"cardinality_estimation": True, "seed": 4}),
+            "cardinality_off": (run_cardinality_ablation, {"cardinality_estimation": False, "seed": 4}),
+        },
+        description="design-knob on/off ablations (collision avoidance, filter, cardinality)",
+        reduce_fn=_reduce_ablations,
+    )
+)

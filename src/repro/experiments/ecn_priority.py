@@ -18,7 +18,7 @@ from ..sim.switch import SwitchConfig
 from ..topology import star
 from ..transport.flow import Flow
 from ..transport.sender import FlowSender
-from .common import RateSampler
+from .common import FunctionExperiment, RateSampler, register
 
 __all__ = ["run_ecn_priority"]
 
@@ -57,3 +57,15 @@ def run_ecn_priority(
         "lo_share": lo / rate,
         "utilization": (hi + lo) / rate,
     }
+
+
+register(
+    FunctionExperiment(
+        "ecn-priority",
+        {
+            "uniform": (run_ecn_priority, {"per_priority_marking": False, "seed": 6}),
+            "per_priority": (run_ecn_priority, {"per_priority_marking": True, "seed": 6}),
+        },
+        description="virtual priority for ECN CCs: per-priority vs uniform marking",
+    )
+)

@@ -26,7 +26,7 @@ from ..sim.switch import SwitchConfig
 from ..topology import star
 from ..transport.flow import Flow
 from ..transport.sender import FlowSender
-from .common import DelaySampler, Mode, RateSampler
+from .common import DelaySampler, FunctionExperiment, Mode, RateSampler, register
 from .fig8_testbed import run_staircase
 
 __all__ = ["run_fig10a", "run_fig10b", "run_fig10c", "run_fig10d"]
@@ -211,3 +211,50 @@ def _fig10d_util(
     mtu = snds[0].mtu
     goodput_cap = rate * mtu / (mtu + 40)
     return sampler.average_rate_bps(0, settle, duration_ns) / goodput_cap
+
+
+def _merge_fig10d(results: Dict[str, dict]) -> Dict[str, float]:
+    """Merge per-scale single-entry dicts; keys become strings either way
+    (float keys stringify identically through JSON and ``str``)."""
+    merged: Dict[str, float] = {}
+    for res in results.values():
+        for k, v in res.items():
+            merged[str(k)] = v
+    return merged
+
+
+register(
+    FunctionExperiment(
+        "fig10a",
+        {"fig10a": (run_fig10a, {"seed": 1})},
+        description="eight-priority staircase at 100 Gbps (O1/O2)",
+    )
+)
+register(
+    FunctionExperiment(
+        "fig10b",
+        {"fig10b": (run_fig10b, {"seed": 1})},
+        description="300-flow incast: delay pinned near D_target",
+    )
+)
+register(
+    FunctionExperiment(
+        "fig10c",
+        {
+            "dual_rtt": (run_fig10c, {"dual_rtt": True, "seed": 1}),
+            "every_rtt": (run_fig10c, {"dual_rtt": False, "seed": 1}),
+        },
+        description="high-priority preemption with vs without the dual-RTT guard",
+    )
+)
+register(
+    FunctionExperiment(
+        "fig10d",
+        {
+            f"scale{_s:g}": (run_fig10d, {"noise_scales": (_s,), "seed": 1})
+            for _s in (1.0, 2.0, 4.0, 8.0)
+        },
+        description="channel-width noise budget vs noise scale",
+        reduce_fn=_merge_fig10d,
+    )
+)

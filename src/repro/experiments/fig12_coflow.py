@@ -19,18 +19,35 @@ lossless vs lossy parity for PrioPlus) are asserted instead.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
 from ..sim.engine import MILLISECOND
-from .coflow_scenario import CoflowConfig, run_coflow_comparison
-from .common import Mode
+from .coflow_scenario import (
+    CoflowConfig,
+    build_workload,
+    run_coflow_comparison,
+    run_coflow_mode,
+    speedup_summary,
+)
+from .common import Experiment, Mode, Point, register
 
-__all__ = ["ci_config", "run_fig12ab", "run_fig17", "run_fig18"]
+__all__ = [
+    "ci_config",
+    "ci_config_kwargs",
+    "run_fig12ab",
+    "run_fig17",
+    "run_fig18",
+    "CoflowComparisonExperiment",
+]
 
 
-def ci_config(load: float = 0.7, lossy: bool = False, **overrides) -> CoflowConfig:
-    """The reduced-scale coflow preset used by the benchmarks."""
-    params = dict(
+def ci_config_kwargs(load: float = 0.7, lossy: bool = False, **overrides) -> Dict[str, object]:
+    """The reduced-scale coflow preset, as plain :class:`CoflowConfig` kwargs.
+
+    Kept as a JSON-safe dict so experiment points can carry it through the
+    runner's cache key and across process boundaries.
+    """
+    params: Dict[str, object] = dict(
         n_racks=2,
         hosts_per_rack=3,
         host_rate_bps=25e9,
@@ -44,7 +61,12 @@ def ci_config(load: float = 0.7, lossy: bool = False, **overrides) -> CoflowConf
         lossy=lossy,
     )
     params.update(overrides)
-    return CoflowConfig(**params)
+    return params
+
+
+def ci_config(load: float = 0.7, lossy: bool = False, **overrides) -> CoflowConfig:
+    """The reduced-scale coflow preset used by the benchmarks."""
+    return CoflowConfig(**ci_config_kwargs(load=load, lossy=lossy, **overrides))
 
 
 def run_fig12ab(
@@ -64,3 +86,83 @@ def run_fig18(cfg: Optional[CoflowConfig] = None) -> Dict[str, object]:
     return run_coflow_comparison(
         [Mode.PRIOPLUS, Mode.HPCC, Mode.PHYSICAL_IDEAL_NOCC], cfg
     )
+
+
+class CoflowComparisonExperiment(Experiment):
+    """One coflow comparison, sharded per CC mode.
+
+    Each mode (baseline included) replays the identical pre-built workload in
+    its own simulation, so the modes are embarrassingly parallel.  The
+    workload itself is rebuilt deterministically from the config seed both in
+    the points and in ``reduce`` — it is never shipped between processes.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        modes: Sequence[str],
+        cfg_kwargs: Dict[str, object],
+        baseline: str = Mode.SWIFT,
+        description: str = "",
+    ):
+        self.name = name
+        self.modes = list(modes)
+        self.cfg_kwargs = dict(cfg_kwargs)
+        self.baseline = baseline
+        self.description = description
+
+    def points(self) -> List[Point]:
+        seed = int(self.cfg_kwargs.get("seed", CoflowConfig().seed))
+        return [
+            Point(mode, {"mode": mode, "cfg": dict(self.cfg_kwargs)}, seed=seed)
+            for mode in [self.baseline, *self.modes]
+        ]
+
+    def run_point(self, point: Point) -> dict:
+        cfg = CoflowConfig(**point.config["cfg"])
+        jobs, groups = build_workload(cfg)
+        cct = run_coflow_mode(point.config["mode"], cfg, jobs, groups)
+        return {"cct": {str(cid): ns for cid, ns in cct.items()}}
+
+    def reduce(self, results: Dict[str, dict]) -> Dict[str, object]:
+        cfg = CoflowConfig(**self.cfg_kwargs)
+        jobs, groups = build_workload(cfg)
+        ccts = {
+            pname: {int(cid): ns for cid, ns in res["cct"].items()}
+            for pname, res in results.items()
+        }
+        base_cct = ccts[self.baseline]
+        return {
+            "config": dict(self.cfg_kwargs),
+            "n_jobs": len(jobs),
+            "baseline": self.baseline,
+            "speedups": {
+                mode: speedup_summary(base_cct, ccts[mode], groups) for mode in self.modes
+            },
+        }
+
+
+register(
+    CoflowComparisonExperiment(
+        "fig12",
+        [Mode.PRIOPLUS, Mode.PHYSICAL],
+        ci_config_kwargs(load=0.7, duration_ns=1_500_000),
+        description="coflow speedups over the no-priority Swift baseline (70% load)",
+    )
+)
+register(
+    CoflowComparisonExperiment(
+        "fig17",
+        [Mode.PRIOPLUS, Mode.PHYSICAL],
+        ci_config_kwargs(load=0.7, duration_ns=1_200_000, lossy=True),
+        description="coflow speedups with PFC off and IRN-style loss recovery",
+    )
+)
+register(
+    CoflowComparisonExperiment(
+        "fig18",
+        [Mode.PRIOPLUS, Mode.HPCC, Mode.PHYSICAL_IDEAL_NOCC],
+        ci_config_kwargs(load=0.7, duration_ns=1_200_000),
+        description="coflow speedups incl. HPCC and Physical* without CC",
+    )
+)

@@ -14,7 +14,7 @@ Results are normalised by Physical*+Swift per (priority tier x size bucket).
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.fct import percentile
 from ..core import StartTier
@@ -22,10 +22,10 @@ from ..noise import paper_noise
 from ..sim.engine import Simulator
 from ..topology import fat_tree
 from ..workloads import poisson_flows, websearch
-from .common import CCFactory, Mode, launch_specs, run_until_flows_done
+from .common import CCFactory, Experiment, Mode, Point, launch_specs, register, run_until_flows_done
 from .flowsched import FlowSchedConfig
 
-__all__ = ["run_fig14", "FIG14_MODES", "normalize_to_physical"]
+__all__ = ["run_fig14", "FIG14_MODES", "normalize_to_physical", "Fig14Experiment"]
 
 FIG14_MODES = (Mode.PRIOPLUS, Mode.PHYSICAL_IDEAL, Mode.PHYSICAL_IDEAL_NOCC, Mode.D2TCP)
 
@@ -134,3 +134,65 @@ def normalize_to_physical(
                 norm[key] = stats["mean_us"] / base[key]["mean_us"]
         out[mode] = norm
     return out
+
+
+class Fig14Experiment(Experiment):
+    """Per-priority-level FCT breakdown, one runner point per mode.
+
+    Cell keys are flattened to ``"tier/bucket"`` strings so point results
+    survive the runner's JSON normalisation; ``reduce`` recomputes the
+    Physical*-normalised ratios from the per-mode cells.
+    """
+
+    name = "fig14"
+    description = "FCT breakdown by priority level and size, normalised to Physical*"
+
+    def __init__(
+        self,
+        modes: Sequence[str] = FIG14_MODES,
+        n_priorities: int = 12,
+        cfg_kwargs: Optional[Dict[str, object]] = None,
+        baseline: str = Mode.PHYSICAL_IDEAL,
+    ):
+        self.modes = list(modes)
+        self.n_priorities = int(n_priorities)
+        self.cfg_kwargs = dict(
+            cfg_kwargs
+            if cfg_kwargs is not None
+            else {"rate_bps": 100e9, "duration_ns": 700_000, "size_scale": 0.1, "load": 0.5}
+        )
+        self.baseline = baseline
+
+    def points(self) -> List[Point]:
+        seed = int(self.cfg_kwargs.get("seed", FlowSchedConfig().seed))
+        return [
+            Point(
+                mode,
+                {"mode": mode, "n_priorities": self.n_priorities, "cfg": dict(self.cfg_kwargs)},
+                seed=seed,
+            )
+            for mode in self.modes
+        ]
+
+    def run_point(self, point: Point) -> dict:
+        cfg = FlowSchedConfig(**point.config["cfg"])
+        res = run_fig14(point.config["mode"], point.config["n_priorities"], cfg)
+        res["cells"] = {f"{tier}/{bucket}": v for (tier, bucket), v in res["cells"].items()}
+        return res
+
+    def reduce(self, results: Dict[str, dict]) -> Dict[str, object]:
+        base = results[self.baseline]["cells"]
+        normalized: Dict[str, Dict[str, float]] = {}
+        for mode in self.modes:
+            norm = {}
+            for key, stats in results[mode]["cells"].items():
+                if key in base and base[key]["mean_us"] > 0:
+                    norm[key] = stats["mean_us"] / base[key]["mean_us"]
+            normalized[mode] = norm
+        return {
+            "results": {mode: results[mode] for mode in self.modes},
+            "normalized_to_physical": normalized,
+        }
+
+
+register(Fig14Experiment())

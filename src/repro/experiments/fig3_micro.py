@@ -27,7 +27,7 @@ from ..sim.switch import SwitchConfig
 from ..topology import star
 from ..transport.flow import Flow
 from ..transport.sender import FlowSender
-from .common import RateSampler, run_until_flows_done
+from .common import FunctionExperiment, RateSampler, register, run_until_flows_done
 
 __all__ = ["run_fig3a", "run_fig3b", "run_fig3c", "run_fig3d"]
 
@@ -174,3 +174,12 @@ def run_fig3d(
         "lo_share_after": lo_share_after,
         "hi_done_us": hi_done / 1e3,
     }
+
+
+for _name, _fn, _desc in (
+    ("fig3a", run_fig3a, "two D2TCP flows, 1x vs 2x deadlines (Fig 1/3a)"),
+    ("fig3b", run_fig3b, "Swift + target scaling converges to weighted sharing"),
+    ("fig3c", run_fig3c, "Swift w/o scaling: underutilisation + hi-flow deceleration"),
+    ("fig3d", run_fig3d, "Swift w/o scaling: min-rate floor and slow reclaim"),
+):
+    register(FunctionExperiment(_name, {_name: (_fn, {"seed": 1})}, description=_desc))

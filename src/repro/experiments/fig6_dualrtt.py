@@ -18,6 +18,7 @@ from ..sim.switch import SwitchConfig
 from ..topology import star
 from ..transport.flow import Flow
 from ..transport.sender import FlowSender
+from .common import FunctionExperiment, register
 
 __all__ = ["run_fig6"]
 
@@ -97,3 +98,12 @@ def run_fig6(
         "base_rtt_us": sender.base_rtt / 1e3,
         "boundary_delays_us": [round(d / 1e3, 2) for d in boundaries[:6]],
     }
+
+
+register(
+    FunctionExperiment(
+        "fig6",
+        {"fig6": (run_fig6, {"seed": 1})},
+        description="window increase shows up in the delay two RTTs later",
+    )
+)

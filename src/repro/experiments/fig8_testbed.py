@@ -24,7 +24,7 @@ from ..sim.switch import SwitchConfig
 from ..topology import star
 from ..transport.flow import Flow
 from ..transport.sender import FlowSender
-from .common import Mode, RateSampler
+from .common import FunctionExperiment, Mode, RateSampler, register
 
 __all__ = ["run_fig8", "run_staircase"]
 
@@ -160,3 +160,18 @@ def run_staircase(
         "utilization": util,
         "drops": net.total_drops(),
     }
+
+
+register(
+    FunctionExperiment(
+        "fig8",
+        {
+            "prioplus": (run_fig8, {"mode": Mode.PRIOPLUS, "stagger_ns": 2 * MILLISECOND, "seed": 1}),
+            "swift_targets": (
+                run_fig8,
+                {"mode": Mode.SWIFT_TARGETS, "stagger_ns": 2 * MILLISECOND, "seed": 1},
+            ),
+        },
+        description="testbed staircase: takeover/reclaim latency, PrioPlus vs Swift targets",
+    )
+)

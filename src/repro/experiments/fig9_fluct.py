@@ -24,7 +24,7 @@ from ..sim.switch import SwitchConfig
 from ..topology import star
 from ..transport.flow import Flow
 from ..transport.sender import FlowSender
-from .common import DelaySampler, Mode
+from .common import DelaySampler, FunctionExperiment, Mode, register
 
 __all__ = ["run_fig9"]
 
@@ -92,3 +92,15 @@ def run_fig9(
         "d_target_us": d_target / 1e3,
         "d_limit_us": d_limit / 1e3,
     }
+
+
+register(
+    FunctionExperiment(
+        "fig9",
+        {
+            "prioplus": (run_fig9, {"mode": Mode.PRIOPLUS, "seed": 1}),
+            "swift_targets": (run_fig9, {"mode": Mode.SWIFT_TARGETS, "seed": 1}),
+        },
+        description="delay-fluctuation management via flow-cardinality estimation",
+    )
+)

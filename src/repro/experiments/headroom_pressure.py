@@ -24,10 +24,10 @@ from ..sim.engine import MICROSECOND, MILLISECOND, Simulator
 from ..sim.pfc import PfcConfig
 from ..sim.switch import SwitchConfig
 from ..topology import star
-from .common import CCFactory, Mode, launch_specs, run_until_flows_done
+from .common import CCFactory, Experiment, Mode, Point, launch_specs, register, run_until_flows_done
 from ..workloads import FlowSpec
 
-__all__ = ["run_headroom_point", "run_headroom_sweep"]
+__all__ = ["run_headroom_point", "run_headroom_sweep", "HeadroomSweepExperiment"]
 
 
 def _workload(rng: random.Random, n_senders: int, duration_ns: int, rate: float) -> List[FlowSpec]:
@@ -106,3 +106,58 @@ def run_headroom_sweep(
     for n in n_priorities_list:
         rows.append(run_headroom_point(Mode.PHYSICAL, n, **kwargs))
     return rows
+
+
+class HeadroomSweepExperiment(Experiment):
+    """The headroom-vs-shared-pool sweep, one runner point per (mode, count).
+
+    Point order mirrors :func:`run_headroom_sweep`: the flat PrioPlus
+    reference first, then Physical at each lossless-priority count.
+    """
+
+    name = "headroom"
+    description = "PFC headroom vs shared buffer: physical degradation sweep"
+
+    def __init__(
+        self,
+        n_priorities_list: Sequence[int] = (2, 4, 6, 8),
+        point_kwargs: Dict[str, object] = None,
+    ):
+        self.n_priorities_list = tuple(int(n) for n in n_priorities_list)
+        self.point_kwargs = dict(
+            point_kwargs
+            if point_kwargs is not None
+            else {
+                "n_senders": 32,
+                "buffer_mb_per_tbps": 2.0,
+                "headroom_bytes": 12_000,
+                "duration_ns": 2_000_000,
+            }
+        )
+
+    def _grid(self) -> List[tuple]:
+        return [(Mode.PRIOPLUS, max(self.n_priorities_list))] + [
+            (Mode.PHYSICAL, n) for n in self.n_priorities_list
+        ]
+
+    def points(self) -> List[Point]:
+        seed = int(self.point_kwargs.get("seed", 13))
+        return [
+            Point(
+                f"{mode}@{n}",
+                {"mode": mode, "n_priorities": n, "kwargs": dict(self.point_kwargs)},
+                seed=seed,
+            )
+            for mode, n in self._grid()
+        ]
+
+    def run_point(self, point: Point) -> dict:
+        return run_headroom_point(
+            point.config["mode"], point.config["n_priorities"], **point.config["kwargs"]
+        )
+
+    def reduce(self, results: Dict[str, dict]) -> Dict[str, object]:
+        return {"rows": [results[f"{mode}@{n}"] for mode, n in self._grid()]}
+
+
+register(HeadroomSweepExperiment())

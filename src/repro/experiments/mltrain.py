@@ -23,10 +23,15 @@ from ..mlsim import RESNET50, VGG16, TrainingJob, scaled_model
 from ..noise import paper_noise
 from ..sim.engine import MILLISECOND, Simulator
 from ..topology import leaf_spine
-from .common import CCFactory, Mode
+from .common import CCFactory, Experiment, Mode, Point, register
 from ..transport.flow import Flow
 
-__all__ = ["MlTrainConfig", "run_mltrain_mode", "run_mltrain_comparison"]
+__all__ = [
+    "MlTrainConfig",
+    "run_mltrain_mode",
+    "run_mltrain_comparison",
+    "MlTrainComparisonExperiment",
+]
 
 
 class MlTrainConfig:
@@ -169,3 +174,57 @@ def run_mltrain_comparison(
         speedups[mode] = per
     out["speedups"] = speedups
     return out
+
+
+class MlTrainComparisonExperiment(Experiment):
+    """Fig 12c's mode comparison, one runner point per mode.
+
+    ``reduce`` recomputes the per-family and overall speedups exactly like
+    :func:`run_mltrain_comparison`, so the experiment's output matches the
+    legacy wrapper's shape.
+    """
+
+    name = "fig12c"
+    description = "ML-training iteration speedups in a shared cluster"
+
+    def __init__(
+        self,
+        modes: Sequence[str] = (Mode.PRIOPLUS, Mode.PHYSICAL),
+        cfg_kwargs: Dict[str, object] = None,
+        baseline: str = Mode.SWIFT,
+    ):
+        self.modes = list(modes)
+        self.cfg_kwargs = dict(cfg_kwargs) if cfg_kwargs is not None else {}
+        self.baseline = baseline
+
+    def points(self) -> List[Point]:
+        seed = int(self.cfg_kwargs.get("seed", MlTrainConfig().seed))
+        return [
+            Point(mode, {"mode": mode, "cfg": dict(self.cfg_kwargs)}, seed=seed)
+            for mode in [self.baseline, *self.modes]
+        ]
+
+    def run_point(self, point: Point) -> dict:
+        return run_mltrain_mode(point.config["mode"], MlTrainConfig(**point.config["cfg"]))
+
+    def reduce(self, results: Dict[str, dict]) -> Dict[str, object]:
+        base = results[self.baseline]
+        out: Dict[str, object] = {"baseline": base}
+        speedups: Dict[str, Dict[str, float]] = {}
+        for mode in self.modes:
+            res = results[mode]
+            per = {}
+            for fam, iters in res["iters_per_job"].items():
+                base_iters = base["iters_per_job"].get(fam, 0.0)
+                per[fam] = iters / base_iters if base_iters > 0 else float("nan")
+            per["overall"] = (
+                res["total_iters"] / base["total_iters"]
+                if base["total_iters"] > 0
+                else float("nan")
+            )
+            speedups[mode] = per
+        out["speedups"] = speedups
+        return out
+
+
+register(MlTrainComparisonExperiment())

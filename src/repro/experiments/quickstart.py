@@ -18,7 +18,7 @@ from ..sim.engine import Simulator
 from ..topology import star
 from ..transport.flow import Flow
 from ..transport.sender import FlowSender
-from .common import attach_telemetry
+from .common import FunctionExperiment, attach_telemetry, register
 
 __all__ = ["run_quickstart"]
 
@@ -59,3 +59,12 @@ def run_quickstart(
         "all_done": low.done and high.done,
     }
     return attach_telemetry(result)
+
+
+register(
+    FunctionExperiment(
+        "quickstart",
+        {"quickstart": (run_quickstart, {"seed": 1})},
+        description="two-flow virtual-priority demo (canonical telemetry scenario)",
+    )
+)

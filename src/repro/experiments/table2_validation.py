@@ -26,6 +26,7 @@ from ..sim.switch import SwitchConfig
 from ..topology import star
 from ..transport.flow import Flow
 from ..transport.sender import FlowSender
+from .common import FunctionExperiment, register
 
 __all__ = ["run_table2_validation"]
 
@@ -77,3 +78,23 @@ def run_table2_validation(
         peak_bdp, fct = _one_strategy(strategy, n_rtts, rate, link_delay_ns, seed)
         out[strategy] = {"peak_extra_buffer_bdp": peak_bdp, "fct_ns": float(fct)}
     return out
+
+
+def _table2_strategy(
+    strategy: str, n_rtts: int = 8, rate: float = 10e9, link_delay_ns: int = 2_000, seed: int = 1
+) -> Dict[str, float]:
+    """One Table 2 row, shaped like ``run_table2_validation()[strategy]``."""
+    peak_bdp, fct = _one_strategy(strategy, n_rtts, rate, link_delay_ns, seed)
+    return {"peak_extra_buffer_bdp": peak_bdp, "fct_ns": float(fct)}
+
+
+register(
+    FunctionExperiment(
+        "table2",
+        {
+            strategy: (_table2_strategy, {"strategy": strategy, "seed": 1})
+            for strategy in (LINE_RATE, EXPONENTIAL, LINEAR)
+        },
+        description="start-strategy validation: peak extra buffer vs transfer delay",
+    )
+)

@@ -1,0 +1,129 @@
+"""``python -m repro bench``: wall-clock snapshot of the sharded runner.
+
+Runs a fixed suite of experiments twice — serial (``jobs=1``) and parallel —
+with the cache disabled, and writes a ``BENCH_runner.json`` snapshot.  CI
+uploads the file as an artifact on every PR, so the perf trajectory of the
+execution subsystem accumulates over time and regressions are visible as a
+drop in the measured speedup or a jump in serial wall time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from typing import Dict, List, Optional
+
+from ..experiments.common import Experiment, FunctionExperiment, Mode
+from .pool import run_experiment
+
+__all__ = ["bench_suite", "run_bench", "write_bench"]
+
+BENCH_SCHEMA = "repro-bench-runner/1"
+
+
+def bench_suite(quick: bool = False) -> List[Experiment]:
+    """The benchmark workload: multi-point experiments at two scales.
+
+    ``quick`` is sized for CI (a few seconds per experiment serially);
+    the full suite reuses the registered default-scale experiments.
+    """
+    from ..experiments.ablations import (
+        run_cardinality_ablation,
+        run_collision_avoidance_ablation,
+        run_filter_ablation,
+    )
+    from ..experiments.fig8_testbed import run_staircase
+    from ..experiments.fig10_micro import run_fig10c
+
+    if quick:
+        stair = dict(rate=10e9, stagger_ns=300_000, flows_per_prio=2, seed=1)
+        f10c = dict(n_each=2, rate=10e9, duration_ns=1_200_000, hi_start_ns=200_000, seed=1)
+        return [
+            FunctionExperiment(
+                "bench_fig8_quick",
+                {
+                    "prioplus": (run_staircase, dict(mode=Mode.PRIOPLUS, priorities=(1, 2, 3, 4), **stair)),
+                    "swift_targets": (run_staircase, dict(mode=Mode.SWIFT_TARGETS, priorities=(1, 2, 3, 4), **stair)),
+                },
+                description="four-priority staircase, CI scale",
+            ),
+            FunctionExperiment(
+                "bench_fig10c_quick",
+                {
+                    "dual_rtt": (run_fig10c, dict(dual_rtt=True, **f10c)),
+                    "every_rtt": (run_fig10c, dict(dual_rtt=False, **f10c)),
+                },
+                description="dual-RTT preemption, CI scale",
+            ),
+            FunctionExperiment(
+                "bench_ablations_quick",
+                {
+                    "collision_on": (run_collision_avoidance_ablation, dict(collision_avoidance=True, n_low=4, rate=10e9, duration_ns=800_000)),
+                    "collision_off": (run_collision_avoidance_ablation, dict(collision_avoidance=False, n_low=4, rate=10e9, duration_ns=800_000)),
+                    "filter_2": (run_filter_ablation, dict(filter_consecutive=2, duration_ns=600_000)),
+                    "filter_1": (run_filter_ablation, dict(filter_consecutive=1, duration_ns=600_000)),
+                    "cardinality_on": (run_cardinality_ablation, dict(cardinality_estimation=True, n_flows=8, rate=10e9, duration_ns=500_000)),
+                    "cardinality_off": (run_cardinality_ablation, dict(cardinality_estimation=False, n_flows=8, rate=10e9, duration_ns=500_000)),
+                },
+                description="design ablations, CI scale",
+            ),
+        ]
+    from ..experiments.common import get_experiment
+
+    return [get_experiment(n) for n in ("fig8", "fig9", "fig10c", "ablations")]
+
+
+def run_bench(
+    suite: Optional[List[Experiment]] = None,
+    quick: bool = False,
+    jobs: Optional[int] = None,
+) -> dict:
+    """Time each suite experiment serial vs parallel; returns the snapshot."""
+    if suite is None:
+        suite = bench_suite(quick)
+    if jobs is None:
+        jobs = min(4, os.cpu_count() or 1)
+    experiments: Dict[str, dict] = {}
+    total_serial = total_parallel = 0.0
+    for exp in suite:
+        n_points = len(exp.points())
+        t0 = time.monotonic()
+        run_experiment(exp, jobs=1)
+        serial_s = time.monotonic() - t0
+        t0 = time.monotonic()
+        run_experiment(exp, jobs=jobs)
+        parallel_s = time.monotonic() - t0
+        total_serial += serial_s
+        total_parallel += parallel_s
+        experiments[exp.name] = {
+            "points": n_points,
+            "serial_s": round(serial_s, 4),
+            "parallel_s": round(parallel_s, 4),
+            "speedup": round(serial_s / parallel_s, 3) if parallel_s > 0 else None,
+        }
+    return {
+        "schema": BENCH_SCHEMA,
+        "quick": quick,
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "unix_s": time.time(),
+        "experiments": experiments,
+        "totals": {
+            "serial_s": round(total_serial, 4),
+            "parallel_s": round(total_parallel, 4),
+            "speedup": round(total_serial / total_parallel, 3) if total_parallel > 0 else None,
+        },
+    }
+
+
+def write_bench(snapshot: dict, path: str = "BENCH_runner.json") -> str:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(snapshot, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote runner bench snapshot to {path}", file=sys.stderr)
+    return path

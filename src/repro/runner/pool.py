@@ -1,0 +1,255 @@
+"""Process-pool execution of experiment points with caching and retry.
+
+:func:`run_experiment` is the one entry point: it enumerates an
+:class:`~repro.experiments.common.Experiment`'s points, satisfies what it can
+from the :class:`~repro.runner.cache.ResultCache`, fans the remainder out
+across ``jobs`` worker processes, retries pool crashes with bounded backoff,
+and reduces the per-point results in a deterministic order — so the reduced
+output is byte-identical no matter how many workers ran, which points were
+cached, or in what order they finished.
+
+Determinism contract:
+
+* every point result is normalized through a JSON round-trip before it is
+  cached or reduced, so fresh and cached results are indistinguishable;
+* a ``"telemetry"`` key attached by a point runner is stripped (telemetry is
+  per-process observability, not part of the simulation result);
+* workers run with telemetry disabled; the parent-side flight recorder (when
+  one is active) receives the runner's own counters instead:
+  ``runner.points``, ``runner.cache_hits``, ``runner.cache_misses``,
+  ``runner.points_executed``, ``runner.worker_crashes``.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import json
+import sys
+import time
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, List, Optional, Union
+
+from ..experiments.common import Experiment, Point
+from ..telemetry import current_recorder, set_default_recorder
+from .cache import ResultCache, cache_key, json_safe
+
+__all__ = ["RunnerError", "run_experiment"]
+
+
+class RunnerError(RuntimeError):
+    """A point failed, crashed past its retry budget, or was ill-defined."""
+
+
+def _worker_init() -> None:
+    # Workers never trace: the parent's recorder (inherited on fork) would
+    # otherwise collect per-child data nobody can read back, and point
+    # runners that embed telemetry would poison the result cache.
+    set_default_recorder(None)
+
+
+def _execute_point(exp: Experiment, point: Point) -> dict:
+    result = exp.run_point(point)
+    if not isinstance(result, dict):
+        raise RunnerError(
+            f"{exp.name}:{point.name}: run_point must return a dict, "
+            f"got {type(result).__name__}"
+        )
+    result.pop("telemetry", None)
+    return result
+
+
+def _normalize(result: dict) -> dict:
+    """JSON round-trip so fresh results equal their future cached selves."""
+    return json.loads(json.dumps(json_safe(result)))
+
+
+class _Counters:
+    """Thin veneer over the active recorder's metrics registry (or nothing)."""
+
+    def __init__(self):
+        rec = current_recorder()
+        self._metrics = rec.metrics if rec is not None else None
+
+    def inc(self, name: str, n: int = 1) -> None:
+        if self._metrics is not None and n:
+            self._metrics.counter(name).inc(n)
+
+
+def _progress_printer(exp_name: str, total: int) -> Callable[[str, str], None]:
+    t0 = time.monotonic()
+    done = [0]
+
+    def tick(point_name: str, source: str) -> None:
+        done[0] += 1
+        elapsed = time.monotonic() - t0
+        eta = elapsed / done[0] * (total - done[0])
+        print(
+            f"[runner] {exp_name} {done[0]}/{total} {point_name} ({source}) "
+            f"elapsed={elapsed:.1f}s eta={eta:.1f}s",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    return tick
+
+
+def _run_parallel(
+    exp: Experiment,
+    points: List[Point],
+    jobs: int,
+    max_retries: int,
+    retry_backoff_s: float,
+    counters: _Counters,
+    on_done: Callable[[str, str], None],
+) -> Dict[str, dict]:
+    """Fan ``points`` out over a process pool, rebuilding it on crashes.
+
+    Retry semantics are pool-grained: when a worker process dies (segfault,
+    OOM-kill, ``os._exit``), every not-yet-finished point of that generation
+    is requeued into the next pool, up to ``max_retries`` rebuilds with
+    exponential backoff.  Points that raise an ordinary exception fail the
+    run immediately — a deterministic error will not succeed on retry.
+    """
+    remaining: Dict[str, Point] = {p.name: p for p in points}
+    out: Dict[str, dict] = {}
+    rebuilds = 0
+    while remaining:
+        crashed = False
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(jobs, len(remaining)), initializer=_worker_init
+        ) as pool:
+            futures = {
+                pool.submit(_execute_point, exp, p): p for p in remaining.values()
+            }
+            for fut in concurrent.futures.as_completed(futures):
+                point = futures[fut]
+                try:
+                    result = fut.result()
+                except BrokenProcessPool:
+                    crashed = True
+                    continue
+                except RunnerError:
+                    raise
+                except Exception as exc:
+                    raise RunnerError(
+                        f"{exp.name}:{point.name} raised {type(exc).__name__}: {exc}"
+                    ) from exc
+                out[point.name] = result
+                del remaining[point.name]
+                counters.inc("runner.points_executed")
+                on_done(point.name, "run")
+        if remaining:
+            if not crashed:  # pragma: no cover - defensive
+                raise RunnerError(f"{exp.name}: pool finished with points unaccounted")
+            rebuilds += 1
+            counters.inc("runner.worker_crashes")
+            if rebuilds > max_retries:
+                raise RunnerError(
+                    f"{exp.name}: worker pool crashed {rebuilds} times; giving up "
+                    f"on points {sorted(remaining)}"
+                )
+            time.sleep(retry_backoff_s * (2 ** (rebuilds - 1)))
+    return out
+
+
+def run_experiment(
+    exp: Experiment,
+    jobs: int = 1,
+    cache: Union[str, ResultCache, None] = None,
+    progress: Union[bool, Callable[[str, str], None]] = False,
+    max_retries: int = 2,
+    retry_backoff_s: float = 0.25,
+    report: Optional[dict] = None,
+) -> dict:
+    """Run every point of ``exp`` and return its reduced result.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` executes points inline (no subprocesses),
+        which is the reference serial path; any ``N > 1`` must produce a
+        byte-identical reduced result.
+    cache:
+        A directory path or :class:`ResultCache`; points whose key is
+        already stored are not simulated again.
+    progress:
+        ``True`` prints per-point progress/ETA lines to stderr; a callable
+        receives ``(point_name, source)`` with source ``"cache"``/``"run"``.
+    max_retries / retry_backoff_s:
+        Worker-crash retry budget (see :func:`_run_parallel`).
+    report:
+        Optional dict filled in place with run statistics
+        (``points``, ``cache_hits``, ``executed``, ``jobs``, ``wall_s``).
+    """
+    t0 = time.monotonic()
+    points = list(exp.points())
+    names = [p.name for p in points]
+    if len(set(names)) != len(names):
+        raise RunnerError(f"{exp.name}: duplicate point names in points()")
+
+    store = ResultCache(cache) if isinstance(cache, (str, bytes)) or hasattr(cache, "__fspath__") else cache
+    keys = {p.name: cache_key(exp.name, p) for p in points}
+    if len(set(keys.values())) != len(points):
+        raise RunnerError(
+            f"{exp.name}: two points share a cache key — every point needs a "
+            f"distinct (config, seed)"
+        )
+
+    counters = _Counters()
+    counters.inc("runner.points", len(points))
+    if progress is True:
+        on_done = _progress_printer(exp.name, len(points))
+    elif callable(progress):
+        on_done = progress
+    else:
+        def on_done(point_name: str, source: str) -> None:
+            pass
+
+    results: Dict[str, dict] = {}
+    pending: List[Point] = []
+    for p in points:
+        entry = store.get(exp.name, keys[p.name]) if store is not None else None
+        if entry is not None:
+            results[p.name] = entry["result"]
+            counters.inc("runner.cache_hits")
+            on_done(p.name, "cache")
+        else:
+            pending.append(p)
+    counters.inc("runner.cache_misses", len(pending))
+
+    if pending:
+        if jobs <= 1:
+            fresh = {}
+            for p in pending:
+                try:
+                    fresh[p.name] = _execute_point(exp, p)
+                except RunnerError:
+                    raise
+                except Exception as exc:
+                    raise RunnerError(
+                        f"{exp.name}:{p.name} raised {type(exc).__name__}: {exc}"
+                    ) from exc
+                counters.inc("runner.points_executed")
+                on_done(p.name, "run")
+        else:
+            fresh = _run_parallel(
+                exp, pending, jobs, max_retries, retry_backoff_s, counters, on_done
+            )
+        for p in pending:
+            result = _normalize(fresh[p.name])
+            results[p.name] = result
+            if store is not None:
+                store.put(exp.name, keys[p.name], p, result)
+
+    ordered = {p.name: results[p.name] for p in points}
+    reduced = exp.reduce(ordered)
+    if report is not None:
+        report.update(
+            experiment=exp.name,
+            points=len(points),
+            cache_hits=len(points) - len(pending),
+            executed=len(pending),
+            jobs=jobs,
+            wall_s=time.monotonic() - t0,
+        )
+    return reduced

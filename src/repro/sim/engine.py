@@ -151,6 +151,9 @@ class Simulator:
             # beyond it — callers poll in run(until=...) loops
             self.now = until
         self.events_processed += processed
+        tel = self.telemetry
+        if processed and tel.enabled:
+            tel.sim_events(self.now, processed)
         return processed
 
     def peek_time(self) -> Optional[int]:

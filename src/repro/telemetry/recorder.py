@@ -116,6 +116,7 @@ class Recorder:
         self._c_resume = m.counter("pfc.resumes")
         self._c_probe_send = m.counter("probe.sent")
         self._c_probe_ack = m.counter("probe.acked")
+        self._c_sim_events = m.counter("sim.events")
         self._h_delay = m.histogram("delay_ns")
         self._h_cwnd = m.histogram("cwnd_bytes")
         self._port_gauges: Dict[str, Gauge] = {}
@@ -215,6 +216,15 @@ class Recorder:
         if g is None:
             g = self._buffer_gauges[switch] = self.metrics.gauge(f"buffer_bytes.{switch}")
         g.set(t, shared_used + headroom_used)
+
+    def sim_events(self, t: int, n: int) -> None:
+        """``n`` engine events executed up to time ``t`` (one call per
+        :meth:`Simulator.run`).  Metrics-only — no event channel — so the
+        counter ``sim.events`` cheaply answers "did any simulation run?",
+        which is how the runner's cache tests prove a warm rerun skips the
+        simulator entirely."""
+        self._note(t)
+        self._c_sim_events.inc(n)
 
     def buffer_drop(self, t: int, switch: str, size: int, priority: int) -> None:
         if "drop" not in self.channels:

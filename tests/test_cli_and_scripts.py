@@ -1,6 +1,7 @@
 """CLI (`python -m repro`) and packaging-surface tests."""
 
 import json
+import pathlib
 import subprocess
 import sys
 
@@ -52,4 +53,72 @@ def test_public_api_surface():
     for name in repro.__all__:
         assert hasattr(repro, name), name
     # extensions are importable through repro.core
+
+
+def test_run_subcommand_equals_bare_invocation(capsys):
+    assert main(["run", "fig6"]) == 0
+    via_run = capsys.readouterr().out
+    assert main(["fig6"]) == 0
+    assert capsys.readouterr().out == via_run
+
+
+def test_jobs_flag_matches_serial_output(capsys):
+    assert main(["run", "quickstart", "--jobs", "2"]) == 0
+    parallel = capsys.readouterr().out
+    assert main(["quickstart"]) == 0
+    assert capsys.readouterr().out == parallel
+
+
+def test_cache_flag_round_trip(tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    assert main(["run", "quickstart", "--cache", cache]) == 0
+    cold = capsys.readouterr().out
+    assert list((tmp_path / "cache" / "quickstart").glob("*.json"))
+    assert main(["run", "quickstart", "--cache", cache]) == 0
+    assert capsys.readouterr().out == cold
+
+
+def test_experiments_compat_dict_runs_serially():
+    result = EXPERIMENTS["fig6"]()
+    assert result["lag_rtts"] == 2.0
+
+
+def test_bench_with_tiny_suite(tmp_path):
+    from repro.experiments.common import FunctionExperiment
+    from repro.runner import run_bench, write_bench
+    from repro.runner.bench import BENCH_SCHEMA
+    from tests.test_runner import _echo
+
+    suite = [FunctionExperiment("tiny", {"a": (_echo, {"x": 1, "seed": 0}),
+                                         "b": (_echo, {"x": 2, "seed": 0})})]
+    snapshot = run_bench(suite=suite, jobs=2)
+    assert snapshot["schema"] == BENCH_SCHEMA
+    assert snapshot["experiments"]["tiny"]["points"] == 2
+    assert snapshot["totals"]["serial_s"] >= 0
+    out = tmp_path / "BENCH_runner.json"
+    write_bench(snapshot, str(out))
+    assert json.loads(out.read_text())["schema"] == BENCH_SCHEMA
+
+
+def test_run_all_experiments_script(tmp_path):
+    root = pathlib.Path(__file__).resolve().parents[1]
+    result = subprocess.run(
+        [
+            sys.executable,
+            str(root / "scripts" / "run_all_experiments.py"),
+            "--only", "quickstart",
+            "--out", str(tmp_path),
+            "--no-tables",
+            "--serial",
+        ],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        cwd=str(root),
+    )
+    assert result.returncode == 0, result.stderr
+    artifact = json.loads((tmp_path / "quickstart.json").read_text())
+    assert artifact["experiment"] == "quickstart"
+    assert artifact["report"]["points"] == 1
+    assert artifact["result"]["all_done"] is True
 
