@@ -1,0 +1,18 @@
+#!/usr/bin/env python
+"""Standalone entry for the simulation-core microbenchmarks.
+
+Equivalent to ``python -m repro bench --core``; kept here so the benchmark
+suite is discoverable next to the pytest-benchmark experiment benches.
+
+    PYTHONPATH=src python benchmarks/bench_core.py                 # full suite
+    PYTHONPATH=src python benchmarks/bench_core.py --quick
+    PYTHONPATH=src python benchmarks/bench_core.py --quick \\
+        --check benchmarks/baseline_core.json                      # CI gate
+"""
+
+import sys
+
+from repro.__main__ import _bench_main
+
+if __name__ == "__main__":
+    sys.exit(_bench_main(["--core"] + sys.argv[1:]))

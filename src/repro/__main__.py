@@ -20,9 +20,13 @@ event and metric dumps:
     python -m repro fig6 --events run.jsonl          # JSONL event dump
     python -m repro fig8 --metrics                   # embed metrics in output
 
-The runner itself can be benchmarked (serial vs parallel wall time):
+The runner itself can be benchmarked (serial vs parallel wall time), and the
+simulation core has its own microbenchmark suite with a CI regression gate
+(see docs/PERFORMANCE.md):
 
     python -m repro bench --quick --out BENCH_runner.json
+    python -m repro bench --core --out BENCH_core.json
+    python -m repro bench --core --quick --check benchmarks/baseline_core.json
 """
 
 from __future__ import annotations
@@ -49,17 +53,52 @@ EXPERIMENTS: Dict[str, Callable[[], object]] = {
 def _bench_main(argv) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro bench",
-        description="Benchmark the parallel runner (serial vs sharded wall time).",
+        description=(
+            "Benchmark the parallel runner (serial vs sharded wall time), or the "
+            "simulation core itself with --core."
+        ),
     )
     parser.add_argument("--quick", action="store_true", help="small CI-scale suite")
     parser.add_argument("--jobs", type=int, default=None, help="parallel worker count")
     parser.add_argument(
-        "--out", default="BENCH_runner.json", metavar="PATH", help="benchmark artifact path"
+        "--core",
+        action="store_true",
+        help="run the simulation-core microbenchmarks instead of the runner bench",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="best-of-N repeats per core bench (default: 3)"
+    )
+    parser.add_argument(
+        "--check",
+        metavar="BASELINE",
+        help="compare normalized core events/sec against a committed baseline "
+        "snapshot; exit 1 on a >20%% regression (implies --core)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH", help="benchmark artifact path"
     )
     args = parser.parse_args(argv)
+
+    if args.core or args.check:
+        from .runner.bench_core import check_regression, run_core_bench, write_core_bench
+
+        snapshot = run_core_bench(quick=args.quick, repeats=args.repeats)
+        out = args.out or "BENCH_core.json"
+        write_core_bench(snapshot, out)
+        print(json.dumps(json_safe(snapshot), indent=2))
+        if args.check:
+            failures = check_regression(snapshot, args.check)
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            if failures:
+                return 1
+            print(f"no regression vs {args.check}", file=sys.stderr)
+        return 0
+
     snapshot = run_bench(quick=args.quick, jobs=args.jobs)
-    write_bench(snapshot, args.out)
-    print(f"wrote {args.out}", file=sys.stderr)
+    out = args.out or "BENCH_runner.json"
+    write_bench(snapshot, out)
+    print(f"wrote {out}", file=sys.stderr)
     print(json.dumps(json_safe(snapshot), indent=2))
     return 0
 

@@ -82,17 +82,20 @@ class SharedBuffer:
 
     def try_admit_shared(self, queue_bytes: int, size: int) -> bool:
         """Admit ``size`` bytes into a queue currently holding ``queue_bytes``."""
-        if self.shared_used + size > self.shared_capacity:
+        used = self.shared_used
+        cap = self.shared_capacity
+        new_used = used + size
+        # inline free_shared/shared_threshold: this runs once per forwarded packet
+        if new_used > cap or queue_bytes >= self.dt_alpha * (cap - used):
             return False
-        if queue_bytes >= self.shared_threshold():
-            return False
-        self.shared_used += size
-        self.stats.admitted_shared += 1
-        if self.shared_used > self.stats.peak_shared:
-            self.stats.peak_shared = self.shared_used
+        self.shared_used = new_used
+        stats = self.stats
+        stats.admitted_shared += 1
+        if new_used > stats.peak_shared:
+            stats.peak_shared = new_used
         tel = self.telemetry
         if tel.enabled:
-            tel.buffer_occupancy(self.sim.now, self.name, self.shared_used, self.headroom_used)
+            tel.buffer_occupancy(self.sim.now, self.name, new_used, self.headroom_used)
         return True
 
     def try_admit_headroom(self, size: int) -> bool:

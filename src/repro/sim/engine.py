@@ -10,6 +10,15 @@ the heap but are skipped when popped (lazy deletion), which keeps cancellation
 O(1).  A live-event counter makes :attr:`Simulator.pending` O(1) too, and the
 heap is compacted whenever cancelled entries outnumber live ones, so
 cancel-heavy workloads (pacing, RTO re-arms) cannot bloat it.
+
+The vast majority of events in a packet simulation — port tx completions and
+propagation deliveries — are never cancelled.  :meth:`Simulator.call_at` /
+:meth:`Simulator.call_after` schedule those without constructing an
+:class:`EventHandle` at all: the heap entry is a bare ``(time, seq, fn, args)``
+tuple.  Both entry shapes share one heap; ``run()`` tells them apart by tuple
+length, and ordering is unaffected because the unique ``seq`` in slot 1 means
+tuple comparison never reaches the callable.  Use ``at()/after()`` only where
+the caller needs ``cancel()``.
 """
 
 from __future__ import annotations
@@ -92,12 +101,28 @@ class Simulator:
     # ------------------------------------------------------------------
     # scheduling
     # ------------------------------------------------------------------
+    def _to_tick(self, time) -> int:
+        """Convert ``time`` to an integer tick, validating against the clock.
+
+        Conversion happens *before* the past-check so a float a fraction of a
+        nanosecond below the integer ``now`` (a sub-resolution artifact of
+        float arithmetic in delay models) clamps to ``now`` instead of raising
+        spuriously.  Genuinely-past times still raise.
+        """
+        tick = int(time)
+        if tick < self.now:
+            if not isinstance(time, int) and time > self.now - 1:
+                # e.g. now=100, time=99.999999: below now only because of
+                # truncation — schedule at the current tick
+                return self.now
+            raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
+        return tick
+
     def at(self, time: int, fn: Callable, *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` at absolute ``time`` (ns)."""
-        if time < self.now:
-            raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
+        tick = int(time)
+        time = self._to_tick(time) if tick < self.now else tick
         self._seq += 1
-        time = int(time)
         ev = EventHandle(time, self._seq, fn, args, self)
         self._live += 1
         # heap entries are (time, seq, handle) tuples: comparisons stay in C
@@ -109,6 +134,48 @@ class Simulator:
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
         return self.at(self.now + int(delay), fn, *args)
+
+    def call_at(self, time: int, fn: Callable, *args: Any) -> None:
+        """Allocation-free :meth:`at`: no :class:`EventHandle`, no ``cancel``.
+
+        The heap entry is the bare ``(time, seq, fn, args)`` tuple.  Use for
+        fire-and-forget events on the hot path (tx completions, propagation
+        deliveries); anything that may need cancelling must use :meth:`at`.
+        """
+        tick = int(time)
+        time = self._to_tick(time) if tick < self.now else tick
+        self._seq += 1
+        self._live += 1
+        heapq.heappush(self._heap, (time, self._seq, fn, args))
+
+    def call_after(self, delay: int, fn: Callable, *args: Any) -> None:
+        """Allocation-free :meth:`after` (see :meth:`call_at`)."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        time = self.now + int(delay)
+        self._seq += 1
+        self._live += 1
+        heapq.heappush(self._heap, (time, self._seq, fn, args))
+
+    def call_at2(
+        self, time1: int, fn1: Callable, args1: tuple, time2: int, fn2: Callable, args2: tuple
+    ) -> None:
+        """Two allocation-free events in one call, ``fn1`` ordered first.
+
+        Equivalent to ``call_at(time1, fn1, *args1); call_at(time2, fn2,
+        *args2)`` but with one method call and no varargs re-packing — used by
+        the port hot path to schedule a packet's fused delivery and the
+        end-of-transmission wake-up together.
+        """
+        now = self.now
+        if time1 < now or time2 < now:
+            raise ValueError(f"cannot schedule in the past: {min(time1, time2)} < {now}")
+        seq = self._seq + 1
+        self._seq = seq + 1
+        self._live += 2
+        heap = self._heap
+        heapq.heappush(heap, (time1, seq, fn1, args1))
+        heapq.heappush(heap, (time2, seq + 1, fn2, args2))
 
     # ------------------------------------------------------------------
     # execution
@@ -122,21 +189,40 @@ class Simulator:
         exhausted = True  # no more events at or before `until`
         self._running = True
         pop = heapq.heappop
+        # int sentinels keep the per-event comparisons int-vs-int
+        horizon = (1 << 63) if until is None else until
+        limit = (1 << 63) if max_events is None else max_events
         try:
             while heap:
-                time, _, ev = heap[0]
+                entry = heap[0]
+                # fast-path entries are (time, seq, fn, args); classic ones
+                # are (time, seq, EventHandle).  seq is unique, so heap order
+                # never compares slot 2 and the shapes can share one heap.
+                if len(entry) == 4:
+                    time = entry[0]
+                    if time > horizon:
+                        break
+                    if processed >= limit:
+                        exhausted = False
+                        break
+                    pop(heap)
+                    self.now = time
+                    entry[2](*entry[3])
+                    processed += 1
+                    continue
+                ev = entry[2]
                 if ev.cancelled:
                     pop(heap)
                     self._cancelled -= 1
                     continue
-                if until is not None and time > until:
+                time = entry[0]
+                if time > horizon:
                     break
-                if max_events is not None and processed >= max_events:
+                if processed >= limit:
                     exhausted = False
                     break
                 pop(heap)
                 self.now = time
-                self._live -= 1
                 fn = ev.fn
                 args = ev.args
                 # mark fired so a late cancel() is a no-op for the counters
@@ -146,6 +232,10 @@ class Simulator:
                 processed += 1
         finally:
             self._running = False
+            # fired events leave the live set in one batched update; pending
+            # is only observed outside run(), so the counter being stale
+            # *during* callbacks is unobservable
+            self._live -= processed
         if exhausted and until is not None and self.now < until:
             # advance the clock to the horizon even when pending events lie
             # beyond it — callers poll in run(until=...) loops
@@ -159,10 +249,14 @@ class Simulator:
     def peek_time(self) -> Optional[int]:
         """Time of the next pending event, or ``None`` when idle."""
         heap = self._heap
-        while heap and heap[0][2].cancelled:
-            heapq.heappop(heap)
-            self._cancelled -= 1
-        return heap[0][0] if heap else None
+        while heap:
+            entry = heap[0]
+            if len(entry) == 3 and entry[2].cancelled:
+                heapq.heappop(heap)
+                self._cancelled -= 1
+                continue
+            return entry[0]
+        return None
 
     @property
     def pending(self) -> int:
@@ -181,6 +275,6 @@ class Simulator:
     def _compact(self) -> None:
         """Drop cancelled entries and re-heapify, in place (safe mid-run)."""
         heap = self._heap
-        heap[:] = [entry for entry in heap if not entry[2].cancelled]
+        heap[:] = [entry for entry in heap if len(entry) == 4 or not entry[2].cancelled]
         heapq.heapify(heap)
         self._cancelled = 0

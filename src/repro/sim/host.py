@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from .engine import Simulator
-from .packet import ACK, DATA, PROBE, PROBE_ACK, Packet
+from .packet import ACK, DATA, PACKET_POOL, PROBE, PROBE_ACK, Packet
 from .port import Port
 
 __all__ = ["Host"]
@@ -20,6 +20,18 @@ __all__ = ["Host"]
 
 class Host:
     """A server with a single NIC."""
+
+    __slots__ = (
+        "sim",
+        "node_id",
+        "n_queues",
+        "name",
+        "port",
+        "senders",
+        "receivers",
+        "rx_bytes",
+        "rx_packets",
+    )
 
     def __init__(self, sim: Simulator, node_id: int, n_queues: int = 8, name: str = ""):
         self.sim = sim
@@ -80,6 +92,9 @@ class Host:
             raise RuntimeError(f"{self.name}: unknown packet kind {kind}")
         if endpoint is not None:
             endpoint.on_packet(pkt)
+        # the host is the packet's terminal owner: endpoints read fields
+        # synchronously in on_packet and never retain the object
+        PACKET_POOL.release(pkt)
 
     # ------------------------------------------------------------------
     @property

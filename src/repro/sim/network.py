@@ -210,6 +210,7 @@ class Network:
         """Recompute ECMP tables, excluding links that are down."""
         for switch in self.switches:
             switch.routes.clear()
+            switch._route_cache.clear()
         for host in self.hosts:
             self._build_routes_to(host)
 

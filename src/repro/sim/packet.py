@@ -10,10 +10,13 @@ the MAC layer and never enter the switching pipeline.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+import os
+from typing import Any, List, Optional, Tuple
 
 __all__ = [
     "Packet",
+    "PacketPool",
+    "PACKET_POOL",
     "IntHop",
     "DATA",
     "ACK",
@@ -73,6 +76,8 @@ class Packet:
         "ack_seq",
         "sack",
         "hash_salt",
+        "ctx",
+        "_in_pool",
     )
 
     def __init__(
@@ -107,6 +112,10 @@ class Packet:
         self.ack_seq = 0
         self.sack: Optional[Tuple[int, int]] = None
         self.hash_salt = 0
+        #: per-hop owner context folded into the packet (what ports used to
+        #: carry as a separate ``(pkt, ctx)`` queue-entry tuple)
+        self.ctx: Any = None
+        self._in_pool = False
 
     @property
     def is_control(self) -> bool:
@@ -119,3 +128,101 @@ class Packet:
             f"<{names.get(self.kind, self.kind)} flow={self.flow_id} seq={self.seq} "
             f"{self.size}B prio={self.priority} {self.src}->{self.dst}>"
         )
+
+
+class PacketPool:
+    """Free-list recycler for :class:`Packet` objects.
+
+    Transport endpoints construct every packet through :meth:`acquire` and the
+    terminal owner of a packet (the receiving host, the switch drop path, a
+    link cut) hands it back through :meth:`release`.  ``acquire`` resets
+    *every* slot, so a recycled packet is indistinguishable from a fresh one;
+    reference-carrying slots (``int_hops``, ``sack``, ``ctx``) are cleared at
+    release time too so pooled packets never pin other objects.
+
+    A missed ``release`` is harmless (the garbage collector reclaims the
+    packet and the pool simply allocates a fresh one later); a *double*
+    release would corrupt the free list, so it raises via the ``_in_pool``
+    guard flag.
+
+    Debug mode: set ``enabled = False`` (or export ``REPRO_PACKET_POOL=0``
+    before import) to make ``acquire`` always construct and ``release`` a
+    no-op — useful to rule the pool out when chasing aliasing bugs.
+    """
+
+    __slots__ = ("enabled", "_free", "allocated", "reused", "released")
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._free: List[Packet] = []
+        self.allocated = 0  # fresh constructions through acquire()
+        self.reused = 0  # acquisitions served from the free list
+        self.released = 0
+
+    def acquire(
+        self,
+        kind: int,
+        size: int,
+        src: int,
+        dst: int,
+        flow_id: int,
+        seq: int = 0,
+        priority: int = 0,
+        payload: int = 0,
+        send_ts: int = 0,
+    ) -> Packet:
+        """A fully-reset packet: recycled when possible, fresh otherwise."""
+        free = self._free
+        if free:
+            pkt = free.pop()
+            self.reused += 1
+            pkt._in_pool = False
+            pkt.kind = kind
+            pkt.size = size
+            pkt.payload = payload
+            pkt.priority = priority
+            pkt.local_prio = -1
+            pkt.src = src
+            pkt.dst = dst
+            pkt.flow_id = flow_id
+            pkt.seq = seq
+            pkt.send_ts = send_ts
+            pkt.echo_ts = 0
+            pkt.ecn = False
+            pkt.ecn_echo = False
+            pkt.int_hops = None
+            pkt.ack_seq = 0
+            pkt.sack = None
+            pkt.hash_salt = 0
+            pkt.ctx = None
+            return pkt
+        self.allocated += 1
+        return Packet(kind, size, src, dst, flow_id, seq, priority, payload, send_ts)
+
+    def release(self, pkt: Packet) -> None:
+        """Recycle a packet whose last owner is done with it."""
+        if not self.enabled:
+            return
+        if pkt._in_pool:
+            raise AssertionError(f"double release of pooled packet {pkt!r}")
+        pkt._in_pool = True
+        pkt.int_hops = None
+        pkt.sack = None
+        pkt.ctx = None
+        self.released += 1
+        self._free.append(pkt)
+
+    @property
+    def live(self) -> int:
+        """Packets acquired and not yet released (leak metric for tests)."""
+        return self.allocated + self.reused - self.released
+
+    def clear(self) -> None:
+        """Drop the free list and zero the counters (test isolation)."""
+        self._free.clear()
+        self.allocated = self.reused = self.released = 0
+
+
+#: process-wide pool used by the transport endpoints; per-process state, so
+#: parallel runner workers each get their own
+PACKET_POOL = PacketPool(enabled=os.environ.get("REPRO_PACKET_POOL", "1") != "0")

@@ -88,9 +88,17 @@ class PfcIngressState:
 
     def on_enqueue(self, size: int) -> None:
         self.bytes += size
-        if not self.cfg.enabled or self.pause_sent:
+        cfg = self.cfg
+        if not cfg.enabled or self.pause_sent:
             return
-        if self.bytes > self._xoff():
+        # inline _xoff(): this runs once per lossless enqueue
+        xoff = cfg.xoff_bytes
+        if cfg.dynamic:
+            buf = self.buffer
+            dyn = cfg.dyn_alpha * (buf.shared_capacity - buf.shared_used)
+            if dyn < xoff:
+                xoff = dyn
+        if self.bytes > xoff:
             self.pause_sent = True
             self.pauses_sent += 1
             tel = self.telemetry

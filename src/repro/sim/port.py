@@ -8,6 +8,19 @@ stamping for HPCC.
 The port dequeues a packet when it *starts* transmitting it; buffer
 accounting is released at that point (start-of-transmission freeing, the
 convention used by ns-3's qbb model).
+
+Hot-path design (see docs/PERFORMANCE.md): starting a transmission at ``t0``
+schedules the peer's ``receive`` directly at ``t2 = t0 + tx + prop`` as one
+fused, allocation-free event (:meth:`Simulator.call_at`) instead of chaining
+``_tx_done`` at ``t1 = t0 + tx`` into a second ``receive`` event.  The ``t1``
+end-of-transmission wake-up remains (it frees the port and re-arms the
+scheduler) but is also allocation-free, so a packet hop costs two bare heap
+tuples and zero ``EventHandle`` objects.
+
+PFC/cut semantics are unchanged: a pause or ``cut()`` landing between
+start-of-tx and delivery still only gates the *next* dequeue (the in-flight
+packet keeps its delivery, exactly as before), because pause/down checks
+always run at dequeue time.
 """
 
 from __future__ import annotations
@@ -17,7 +30,7 @@ from typing import Any, Callable, List, Optional
 
 from ..telemetry.recorder import NULL_RECORDER
 from .engine import Simulator
-from .packet import IntHop, Packet
+from .packet import PACKET_POOL, IntHop, Packet
 
 __all__ = ["Port"]
 
@@ -25,14 +38,20 @@ __all__ = ["Port"]
 class Port:
     """Egress port: priority queues + strict-priority scheduler + one link."""
 
+    #: class-level switch used by tests/benchmarks to compare the fused
+    #: delivery schedule against the classic two-step (deliver from t1)
+    FUSED = True
+
     __slots__ = (
         "sim",
         "name",
         "rate_bps",
-        "ns_per_byte",
+        "_ns_per_byte",
+        "_tx_cache",
         "n_queues",
         "queues",
         "qbytes",
+        "_active",
         "total_bytes",
         "paused",
         "busy",
@@ -66,10 +85,14 @@ class Port:
         self.sim = sim
         self.name = name
         self.rate_bps = rate_bps
-        self.ns_per_byte = 8e9 / rate_bps
+        self._ns_per_byte = 8e9 / rate_bps
+        self._tx_cache = {}
         self.n_queues = n_queues
         self.queues: List[deque] = [deque() for _ in range(n_queues)]
         self.qbytes = [0] * n_queues
+        #: bitmask of non-empty queues: the scheduler finds the highest
+        #: candidate with one bit_length() instead of scanning 18 deques
+        self._active = 0
         self.total_bytes = 0
         self.paused = [False] * n_queues
         self.busy = False
@@ -97,6 +120,16 @@ class Port:
         self.telemetry = getattr(sim, "telemetry", NULL_RECORDER)
 
     # ------------------------------------------------------------------
+    @property
+    def ns_per_byte(self) -> float:
+        return self._ns_per_byte
+
+    @ns_per_byte.setter
+    def ns_per_byte(self, value: float) -> None:
+        # rate changes invalidate the memoised serialisation times
+        self._ns_per_byte = value
+        self._tx_cache.clear()
+
     def connect(self, peer, prop_delay_ns: int, peer_in_idx: int = 0) -> None:
         """Attach the downstream node reached through this port."""
         self.peer = peer
@@ -104,7 +137,12 @@ class Port:
         self.peer_in_idx = peer_in_idx
 
     def tx_time_ns(self, size_bytes: int) -> int:
-        return max(1, int(size_bytes * self.ns_per_byte))
+        """Serialisation time, memoised per size (MTU/ACK sizes dominate)."""
+        cache = self._tx_cache
+        t = cache.get(size_bytes)
+        if t is None:
+            t = cache[size_bytes] = max(1, int(size_bytes * self._ns_per_byte))
+        return t
 
     # ------------------------------------------------------------------
     def queue_index(self, pkt: Packet) -> int:
@@ -113,32 +151,48 @@ class Port:
         return pkt.priority
 
     def enqueue(self, pkt: Packet, ctx: Any = None) -> None:
-        """Queue a packet for transmission (admission already decided)."""
-        q = self.queue_index(pkt)
+        """Queue a packet for transmission (admission already decided).
+
+        ``ctx`` is opaque owner context handed back through ``on_dequeue``;
+        it rides in ``pkt.ctx`` so a queue entry is the bare packet.
+        """
+        if self.local_queues and pkt.local_prio >= 0:
+            q = pkt.local_prio
+            if q >= self.n_queues:
+                q = self.n_queues - 1
+        else:
+            q = pkt.priority
+        size = pkt.size
+        qbytes = self.qbytes
         marked = False
         if self.ecn_marker is not None:
-            if self.ecn_marker(pkt, self.qbytes[q]):
+            if self.ecn_marker(pkt, qbytes[q]):
                 pkt.ecn = True
                 marked = True
-        elif self.ecn_k is not None and self.qbytes[q] + pkt.size > self.ecn_k:
+        elif self.ecn_k is not None and qbytes[q] + size > self.ecn_k:
             pkt.ecn = True
             marked = True
-        self.queues[q].append((pkt, ctx))
-        self.qbytes[q] += pkt.size
-        self.total_bytes += pkt.size
+        pkt.ctx = ctx
+        self.queues[q].append(pkt)
+        self._active |= 1 << q
+        qbytes[q] += size
+        self.total_bytes += size
         tel = self.telemetry
         if tel.enabled:
             now = self.sim.now
             if marked:
                 tel.ecn_mark(now, self.name, q)
-            tel.queue_depth(now, self.name, q, self.qbytes[q], self.total_bytes)
+            tel.queue_depth(now, self.name, q, qbytes[q], self.total_bytes)
         if not self.busy:
             self._kick()
 
     def set_paused(self, prio: int, paused: bool) -> None:
         """PFC pause/resume for one *physical* priority class."""
-        if prio < len(self.paused):
-            self.paused[prio] = paused
+        if prio < 0 or prio >= len(self.paused):
+            raise ValueError(
+                f"{self.name}: PFC priority {prio} out of range [0, {len(self.paused)})"
+            )
+        self.paused[prio] = paused
         if not paused and not self.busy:
             self._kick()
 
@@ -157,7 +211,7 @@ class Port:
             queue = queues[q]
             if not queue:
                 continue
-            phys = queue[0][0].priority
+            phys = queue[0].priority
             if phys < n_paused and paused[phys]:
                 continue
             return q
@@ -167,23 +221,37 @@ class Port:
         """Take the link down, dropping everything queued (a fibre cut).
 
         Returns the number of packets dropped.  Buffer accounting is
-        released through the usual dequeue callback.
+        released through the usual dequeue callback.  The in-flight packet
+        (if any) is *not* recalled — it is already on the wire.
         """
+        was_busy = self.busy
         self.down = True
         dropped = 0
+        drained: List[int] = []
         for q in range(self.n_queues):
-            while self.queues[q]:
-                pkt, ctx = self.queues[q].popleft()
+            queue = self.queues[q]
+            if not queue:
+                continue
+            drained.append(q)
+            while queue:
+                pkt = queue.popleft()
                 self.qbytes[q] -= pkt.size
                 self.total_bytes -= pkt.size
                 if self.on_dequeue is not None:
-                    self.on_dequeue(pkt, ctx)
+                    self.on_dequeue(pkt, pkt.ctx)
+                PACKET_POOL.release(pkt)
                 dropped += 1
+        self._active = 0
         self.dropped_on_cut += dropped
         tel = self.telemetry
-        if tel.enabled and dropped:
-            for q in range(self.n_queues):
-                tel.queue_depth(self.sim.now, self.name, q, self.qbytes[q], self.total_bytes)
+        if tel.enabled:
+            now = self.sim.now
+            for q in drained:
+                tel.queue_depth(now, self.name, q, self.qbytes[q], self.total_bytes)
+            if was_busy:
+                # the wire goes dead mid-serialisation: report idle from the
+                # cut instant instead of the never-reached end of tx
+                tel.link(now, self.name, False)
         return dropped
 
     def restore(self) -> None:
@@ -193,36 +261,82 @@ class Port:
             self._kick()
 
     def _kick(self) -> None:
-        if self.down:
+        if self.down or not self.total_bytes:
             return
-        q = self._select_queue()
-        if q < 0:
-            return
-        pkt, ctx = self.queues[q].popleft()
-        self.qbytes[q] -= pkt.size
-        self.total_bytes -= pkt.size
+        # inline _select_queue over the non-empty bitmask: highest queue whose
+        # head's physical class isn't paused
+        queues = self.queues
+        paused = self.paused
+        n_paused = len(paused)
+        sel = self._active
+        while True:
+            if not sel:
+                return
+            q = sel.bit_length() - 1
+            queue = queues[q]
+            phys = queue[0].priority
+            if phys < n_paused and paused[phys]:
+                sel ^= 1 << q  # paused head: mask this queue for this pass
+                continue
+            break
+        pkt = queue.popleft()
+        if not queue:
+            self._active ^= 1 << q
+        size = pkt.size
+        qbytes = self.qbytes
+        qbytes[q] -= size
+        total = self.total_bytes = self.total_bytes - size
         self.busy = True
+        sim = self.sim
+        now = sim.now
+        cache = self._tx_cache
+        tx = cache.get(size)
+        if tx is None:
+            tx = cache[size] = max(1, int(size * self._ns_per_byte))
         tel = self.telemetry
         if tel.enabled:
-            now = self.sim.now
-            tel.queue_depth(now, self.name, q, self.qbytes[q], self.total_bytes)
+            tel.queue_depth(now, self.name, q, qbytes[q], total)
             tel.link(now, self.name, True)
         if self.stamp_int and pkt.int_hops is not None:
-            pkt.int_hops.append(
-                IntHop(self.total_bytes, self.tx_bytes_total, self.sim.now, self.rate_bps)
-            )
+            pkt.int_hops.append(IntHop(total, self.tx_bytes_total, now, self.rate_bps))
         if self.on_dequeue is not None:
-            self.on_dequeue(pkt, ctx)
-        self.tx_bytes_total += pkt.size
+            self.on_dequeue(pkt, pkt.ctx)
+        self.tx_bytes_total += size
         self.tx_packets_total += 1
-        self.sim.after(self.tx_time_ns(pkt.size), self._tx_done, pkt)
+        t1 = now + tx
+        if self.FUSED:
+            peer = self.peer
+            if peer is None:
+                raise RuntimeError(f"{self.name}: transmitting on an unconnected port")
+            # fused: delivery at t2 scheduled up front, wake-up frees the port
+            sim.call_at2(
+                t1 + self.prop_delay_ns,
+                peer.receive,
+                (pkt, self.peer_in_idx),
+                t1,
+                self._tx_wake,
+                (),
+            )
+        else:
+            sim.call_after(tx, self._tx_done, pkt)
 
-    def _tx_done(self, pkt: Packet) -> None:
-        if self.peer is None:
-            raise RuntimeError(f"{self.name}: transmitting on an unconnected port")
-        self.sim.after(self.prop_delay_ns, self.peer.receive, pkt, self.peer_in_idx)
+    def _tx_wake(self) -> None:
+        """End-of-transmission: free the port and re-arm the scheduler."""
         self.busy = False
         tel = self.telemetry
-        if tel.enabled:
+        if tel.enabled and not self.down:
             tel.link(self.sim.now, self.name, False)
+        self._kick()
+
+    def _tx_done(self, pkt: Packet) -> None:
+        """Classic two-step end-of-tx (``FUSED = False`` debug mode)."""
+        peer = self.peer
+        if peer is None:
+            raise RuntimeError(f"{self.name}: transmitting on an unconnected port")
+        sim = self.sim
+        sim.call_after(self.prop_delay_ns, peer.receive, pkt, self.peer_in_idx)
+        self.busy = False
+        tel = self.telemetry
+        if tel.enabled and not self.down:
+            tel.link(sim.now, self.name, False)
         self._kick()

@@ -2,11 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
 from .buffer import SharedBuffer
 from .engine import Simulator
-from .packet import Packet
+from .packet import PACKET_POOL, Packet
 from .pfc import PfcConfig, PfcIngressState
 from .port import Port
 
@@ -69,6 +69,26 @@ class Switch:
     via :meth:`register_ingress` so PFC signals can be sent back upstream.
     """
 
+    __slots__ = (
+        "sim",
+        "node_id",
+        "cfg",
+        "name",
+        "ports",
+        "_ingress_peer",
+        "_ingress_delay",
+        "routes",
+        "buffer",
+        "_pfc",
+        "_pfc_on",
+        "_n_lossless",
+        "_nq",
+        "_route_cache",
+        "drops",
+        "forwarded",
+        "pfc_listeners",
+    )
+
     def __init__(self, sim: Simulator, node_id: int, cfg: SwitchConfig, name: str = ""):
         self.sim = sim
         self.node_id = node_id
@@ -80,7 +100,16 @@ class Switch:
         #: dst node id -> list of candidate egress port indices (ECMP)
         self.routes: Dict[int, List[int]] = {}
         self.buffer: Optional[SharedBuffer] = None
-        self._pfc: Dict[Tuple[int, int], PfcIngressState] = {}
+        #: (in_idx * n_queues + prio) -> pause state; int keys keep the
+        #: per-packet lookup free of tuple construction
+        self._pfc: Dict[int, PfcIngressState] = {}
+        # hoisted per-packet config reads
+        self._pfc_on = cfg.pfc.enabled
+        self._n_lossless = cfg.n_lossless
+        self._nq = cfg.n_queues
+        #: (dst, flow_id, salt) -> egress index; ecmp_hash is pure, routes are
+        #: fixed after topology build, so the pick per flow never changes
+        self._route_cache: Dict[tuple, int] = {}
         self.drops = 0
         self.forwarded = 0
         #: observers called as ``cb(time_ns, in_idx, prio, paused)`` whenever a
@@ -139,44 +168,62 @@ class Switch:
     # data path
     # ------------------------------------------------------------------
     def receive(self, pkt: Packet, in_idx: int) -> None:
-        routes = self.routes.get(pkt.dst)
-        if not routes:
-            raise RuntimeError(f"{self.name}: no route to node {pkt.dst}")
+        try:
+            routes = self.routes[pkt.dst]
+        except KeyError:
+            raise RuntimeError(f"{self.name}: no route to node {pkt.dst}") from None
         if len(routes) == 1:
             out_idx = routes[0]
         else:
-            out_idx = routes[ecmp_hash(pkt.flow_id, self.node_id, pkt.hash_salt) % len(routes)]
+            rkey = (pkt.dst, pkt.flow_id, pkt.hash_salt)
+            try:
+                out_idx = self._route_cache[rkey]
+            except KeyError:
+                out_idx = routes[
+                    ecmp_hash(pkt.flow_id, self.node_id, pkt.hash_salt) % len(routes)
+                ]
+                self._route_cache[rkey] = out_idx
         port = self.ports[out_idx]
 
+        prio = pkt.priority
+        size = pkt.size
+        lossless = self._pfc_on and prio < self._n_lossless
         buf = self.buffer
-        from_headroom = False
-        if not buf.try_admit_shared(port.qbytes[pkt.priority], pkt.size):
-            if (
-                self.cfg.pfc.enabled
-                and pkt.priority < self.cfg.n_lossless
-                and buf.try_admit_headroom(pkt.size)
-            ):
-                from_headroom = True
+        from_headroom = 0
+        if not buf.try_admit_shared(port.qbytes[prio], size):
+            if lossless and buf.try_admit_headroom(size):
+                from_headroom = 1
             else:
-                buf.record_drop(pkt.size, pkt.priority)
+                buf.record_drop(size, prio)
                 self.drops += 1
+                PACKET_POOL.release(pkt)
                 return
-        if self.cfg.pfc.enabled and pkt.priority < self.cfg.n_lossless:
-            self._pfc_state(in_idx, pkt.priority).on_enqueue(pkt.size)
+        if lossless:
+            key = in_idx * self._nq + prio
+            state = self._pfc.get(key)
+            if state is None:
+                state = self._pfc_state(in_idx, prio)
+            state.on_enqueue(size)
         self.forwarded += 1
-        port.enqueue(pkt, (in_idx, from_headroom))
+        # ctx packs (in_idx, from_headroom) into one int: in_idx << 1 | flag
+        port.enqueue(pkt, in_idx << 1 | from_headroom)
 
-    def _on_port_dequeue(self, pkt: Packet, ctx: Tuple[int, bool]) -> None:
-        in_idx, from_headroom = ctx
-        self.buffer.release(pkt.size, from_headroom)
-        if self.cfg.pfc.enabled and pkt.priority < self.cfg.n_lossless:
-            self._pfc_state(in_idx, pkt.priority).on_dequeue(pkt.size)
+    def _on_port_dequeue(self, pkt: Packet, ctx: int) -> None:
+        prio = pkt.priority
+        self.buffer.release(pkt.size, ctx & 1)
+        if self._pfc_on and prio < self._n_lossless:
+            in_idx = ctx >> 1
+            key = in_idx * self._nq + prio
+            state = self._pfc.get(key)
+            if state is None:
+                state = self._pfc_state(in_idx, prio)
+            state.on_dequeue(pkt.size)
 
     # ------------------------------------------------------------------
     # PFC
     # ------------------------------------------------------------------
     def _pfc_state(self, in_idx: int, prio: int) -> PfcIngressState:
-        key = (in_idx, prio)
+        key = in_idx * self.cfg.n_queues + prio
         state = self._pfc.get(key)
         if state is None:
             state = PfcIngressState(

@@ -4,7 +4,15 @@ from __future__ import annotations
 
 
 from ..sim.engine import Simulator
-from ..sim.packet import ACK, DATA, MIN_PACKET_BYTES, PROBE, PROBE_ACK, Packet
+from ..sim.packet import (
+    ACK,
+    DATA,
+    MIN_PACKET_BYTES,
+    PACKET_POOL,
+    PROBE,
+    PROBE_ACK,
+    Packet,
+)
 from .flow import Flow
 
 __all__ = ["FlowReceiver"]
@@ -51,7 +59,7 @@ class FlowReceiver:
         self._echo(pkt, ACK)
 
     def _echo(self, pkt: Packet, kind: int) -> None:
-        ack = Packet(
+        ack = PACKET_POOL.acquire(
             kind,
             MIN_PACKET_BYTES,
             src=self.host.node_id,

@@ -19,7 +19,7 @@ from typing import Callable, Optional
 
 from ..sim.engine import Simulator
 from ..sim.network import Network
-from ..sim.packet import DATA, HEADER_BYTES, MIN_PACKET_BYTES, PROBE, PROBE_ACK, Packet
+from ..sim.packet import DATA, HEADER_BYTES, MIN_PACKET_BYTES, PACKET_POOL, PROBE, PROBE_ACK, Packet
 from ..telemetry.recorder import NULL_RECORDER
 from .flow import AckInfo, Flow
 from .receiver import FlowReceiver
@@ -182,7 +182,7 @@ class FlowSender:
         else:
             self.next_new_seq = seq + 1
         payload = self.payload_of(seq)
-        pkt = Packet(
+        pkt = PACKET_POOL.acquire(
             DATA,
             payload + HEADER_BYTES,
             src=self.flow.src.node_id,
@@ -359,7 +359,7 @@ class FlowSender:
         self._probe_ev = None
         if self.completed:
             return
-        pkt = Packet(
+        pkt = PACKET_POOL.acquire(
             PROBE,
             MIN_PACKET_BYTES,
             src=self.flow.src.node_id,

@@ -1,0 +1,219 @@
+"""Pinned-seed golden battery: proves hot-path changes are byte-identical.
+
+The battery runs a fixed set of small simulation scenarios chosen to cover
+every hot-path mechanism the simulator has — PrioPlus probing, PFC
+pause/resume, ECN marking, INT stamping (HPCC), shared-buffer drops with RTO
+recovery, ECMP multipath on a fat-tree, and a mid-flight link cut — and
+canonicalises their result dicts to JSON.
+
+``tests/test_golden_results.py`` compares the battery against the committed
+``tests/golden/core_results.json``.  The committed file was generated from the
+pre-optimisation simulation core, so the test is the proof that the fused
+tx/deliver events, the allocation-free scheduling fast path and packet pooling
+did not change a single reduced result.
+
+Regenerate (only when a *deliberate* semantic change is made)::
+
+    PYTHONPATH=src python -m tests.golden_battery --write
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Callable, Dict, List, Tuple
+
+from repro.cc import Hpcc, Swift, SwiftParams
+from repro.cc.base import CongestionControl
+from repro.experiments.ablations import (
+    run_cardinality_ablation,
+    run_collision_avoidance_ablation,
+    run_filter_ablation,
+)
+from repro.experiments.fig8_testbed import run_staircase
+from repro.experiments.fig10_micro import run_fig10c
+from repro.experiments.common import Mode
+from repro.experiments.quickstart import run_quickstart
+from repro.sim.engine import Simulator
+from repro.sim.pfc import PfcConfig
+from repro.sim.switch import SwitchConfig
+from repro.topology import fat_tree, star
+from repro.transport.flow import Flow
+from repro.transport.sender import FlowSender
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden", "core_results.json")
+
+
+# ----------------------------------------------------------------------
+# custom micro-scenarios (cheap, and tighter on hot-path semantics than the
+# figure experiments: they pin drops, retransmits, PFC counts and the clock)
+# ----------------------------------------------------------------------
+def _flow_stats(sim: Simulator, net, flows: List[Flow]) -> dict:
+    return {
+        "now": sim.now,
+        "fcts": [f.fct_ns() if f.done else None for f in flows],
+        "retransmits": [f.retransmits for f in flows],
+        "probes": [f.probes_sent for f in flows],
+        "drops": net.total_drops(),
+        "pfc_pauses": net.total_pfc_pauses(),
+    }
+
+
+def pfc_incast() -> dict:
+    """Static-xoff incast on a slow bottleneck: many PAUSE/RESUME cycles."""
+    sim = Simulator(3)
+    cfg = SwitchConfig(
+        n_queues=2,
+        buffer_bytes=64_000,
+        headroom_per_port_per_prio=8_000,
+        pfc=PfcConfig(enabled=True, xoff_bytes=4_000, dynamic=False),
+    )
+    net, senders, recv = star(sim, 3, rate_bps=100e9, link_delay_ns=100, switch_cfg=cfg)
+    net.path_ports(senders[0], recv)[-1].ns_per_byte = 8.0  # ~1 Gbps bottleneck
+    flows = [Flow(i + 1, senders[i], recv, 80_000) for i in range(3)]
+    for f in flows:
+        FlowSender(sim, net, f, CongestionControl(init_cwnd_bytes=80_000), rto_ns=10**12)
+    sim.run(until=2_000_000_000)
+    return _flow_stats(sim, net, flows)
+
+
+def lossy_rto_recovery() -> dict:
+    """Tiny lossy buffer (PFC off): tail drops, dup-ACK and RTO retransmits."""
+    sim = Simulator(7)
+    cfg = SwitchConfig(n_queues=2, buffer_bytes=20_000, pfc=PfcConfig(enabled=False))
+    net, senders, recv = star(sim, 4, rate_bps=10e9, link_delay_ns=1_000, switch_cfg=cfg)
+    flows = [Flow(i + 1, senders[i], recv, 120_000) for i in range(4)]
+    for f in flows:
+        FlowSender(sim, net, f, Swift(SwiftParams(target_scaling=False)), rto_ns=400_000)
+    sim.run(until=1_000_000_000)
+    return _flow_stats(sim, net, flows)
+
+
+def cut_mid_flight() -> dict:
+    """Fibre cut while packets are queued and one is mid-transmission.
+
+    Pins the cut semantics the fused tx/deliver event must preserve: queued
+    packets drop, the in-flight packet still delivers, RTO recovers the rest
+    after restore().
+    """
+    sim = Simulator(11)
+    cfg = SwitchConfig(n_queues=2, buffer_bytes=8 * 1024 * 1024)
+    net, senders, recv = star(sim, 2, rate_bps=10e9, link_delay_ns=1_000, switch_cfg=cfg)
+    flows = [Flow(i + 1, senders[i], recv, 150_000) for i in range(2)]
+    for f in flows:
+        FlowSender(sim, net, f, CongestionControl(init_cwnd_bytes=150_000), rto_ns=300_000)
+    sim.run(until=30_000)  # mid-transfer: switch queue built, port transmitting
+    sw = net.switches[0]
+    dropped = net.set_link_state(sw, recv, up=False)
+    sim.run(until=80_000)
+    rx_during_cut = recv.rx_packets
+    net.set_link_state(sw, recv, up=True)
+    sim.run(until=1_000_000_000)
+    out = _flow_stats(sim, net, flows)
+    out["cut_dropped"] = dropped
+    out["rx_packets_at_restore"] = rx_during_cut
+    return out
+
+
+def hpcc_fat_tree() -> dict:
+    """HPCC (INT stamping on every hop) across a k=4 fat-tree with ECMP."""
+    sim = Simulator(5)
+    cfg = SwitchConfig(n_queues=3, buffer_bytes=8 * 1024 * 1024)
+    net, hosts = fat_tree(sim, k=4, rate_bps=10e9, switch_cfg=cfg)
+    flows = []
+    for i in range(4):
+        f = Flow(i + 1, hosts[i], hosts[-(i + 1)], 60_000, priority=i % 2)
+        flows.append(f)
+        FlowSender(sim, net, f, Hpcc(), rto_ns=10**9)
+    sim.run(until=1_000_000_000)
+    return _flow_stats(sim, net, flows)
+
+
+def paused_priority_star() -> dict:
+    """Strict-priority scheduling with one class paused mid-run."""
+    sim = Simulator(13)
+    cfg = SwitchConfig(n_queues=4, buffer_bytes=8 * 1024 * 1024)
+    net, senders, recv = star(sim, 2, rate_bps=10e9, link_delay_ns=500, switch_cfg=cfg)
+    flows = [
+        Flow(1, senders[0], recv, 100_000, priority=0),
+        Flow(2, senders[1], recv, 100_000, priority=2),
+    ]
+    for f in flows:
+        FlowSender(sim, net, f, CongestionControl(init_cwnd_bytes=100_000), rto_ns=10**12)
+    bottleneck = net.path_ports(senders[0], recv)[-1]
+    sim.at(20_000, bottleneck.set_paused, 0, True)
+    sim.at(120_000, bottleneck.set_paused, 0, False)
+    sim.run(until=1_000_000_000)
+    return _flow_stats(sim, net, flows)
+
+
+# ----------------------------------------------------------------------
+# the battery
+# ----------------------------------------------------------------------
+_STAIR = dict(rate=10e9, stagger_ns=300_000, flows_per_prio=2, seed=1)
+
+BATTERY: List[Tuple[str, Callable[[], object]]] = [
+    ("quickstart", lambda: run_quickstart(low_bytes=600_000, high_bytes=200_000)),
+    ("fig8_prioplus", lambda: run_staircase(mode=Mode.PRIOPLUS, priorities=(1, 2, 3, 4), **_STAIR)),
+    (
+        "fig8_swift_targets",
+        lambda: run_staircase(mode=Mode.SWIFT_TARGETS, priorities=(1, 2, 3, 4), **_STAIR),
+    ),
+    (
+        "fig10c_dual_rtt",
+        lambda: run_fig10c(
+            dual_rtt=True, n_each=2, rate=10e9, duration_ns=1_200_000, hi_start_ns=200_000, seed=1
+        ),
+    ),
+    (
+        "ablation_collision",
+        lambda: run_collision_avoidance_ablation(
+            collision_avoidance=True, n_low=4, rate=10e9, duration_ns=800_000
+        ),
+    ),
+    ("ablation_filter", lambda: run_filter_ablation(filter_consecutive=2, duration_ns=600_000)),
+    (
+        "ablation_cardinality",
+        lambda: run_cardinality_ablation(
+            cardinality_estimation=True, n_flows=8, rate=10e9, duration_ns=500_000
+        ),
+    ),
+    ("pfc_incast", pfc_incast),
+    ("lossy_rto_recovery", lossy_rto_recovery),
+    ("cut_mid_flight", cut_mid_flight),
+    ("hpcc_fat_tree", hpcc_fat_tree),
+    ("paused_priority_star", paused_priority_star),
+]
+
+
+def run_battery() -> Dict[str, object]:
+    from repro.runner.cache import json_safe
+
+    return {name: json_safe(fn()) for name, fn in BATTERY}
+
+
+def canonical(results: Dict[str, object]) -> str:
+    return json.dumps(results, sort_keys=True, indent=1)
+
+
+def main() -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--write", action="store_true", help="write tests/golden/core_results.json")
+    args = parser.parse_args()
+    results = run_battery()
+    text = canonical(results)
+    if args.write:
+        os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)
+        with open(GOLDEN_PATH, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            fh.write("\n")
+        print(f"wrote {GOLDEN_PATH} ({len(results)} scenarios)")
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

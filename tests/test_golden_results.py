@@ -1,0 +1,29 @@
+"""Golden-results gate for the simulation core.
+
+Re-runs the pinned-seed scenario battery and compares its canonical JSON
+byte-for-byte against ``tests/golden/core_results.json``.  Any hot-path
+change that shifts event ordering, packet fates or flow completion times —
+however subtly — fails here.  Regenerate the reference (only for an
+*intentional* semantic change) with::
+
+    PYTHONPATH=src python -m tests.golden_battery --write
+"""
+
+import json
+from pathlib import Path
+
+from tests.golden_battery import canonical, run_battery
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "core_results.json"
+
+
+def test_battery_matches_committed_golden_results():
+    expected = GOLDEN_PATH.read_text()
+    actual = canonical(run_battery()) + "\n"
+    if actual != expected:
+        # pinpoint the first divergent scenario before failing on bytes
+        exp = json.loads(expected)
+        act = json.loads(actual)
+        for name in exp:
+            assert act.get(name) == exp[name], f"scenario {name!r} diverged"
+    assert actual == expected
