@@ -12,6 +12,12 @@ dispatched through :func:`repro.runner.run_experiment`; ``--jobs N`` fans the
 experiment's independent points over a process pool and ``--cache DIR`` skips
 points whose results are already on disk (see docs/RUNNER.md).
 
+Fault injection (see docs/FAULTS.md): any experiment runs under a declarative
+fault plan, and ``--quick`` selects an experiment's CI-scale variant:
+
+    python -m repro run fig8 --faults plan.json
+    python -m repro run fault_flap --quick --jobs 2
+
 Observability (see docs/OBSERVABILITY.md): any experiment can be run with the
 flight recorder on, producing a Perfetto-loadable trace and/or structured
 event and metric dumps:
@@ -135,6 +141,18 @@ def main(argv=None) -> int:
         help="print per-point progress and ETA to stderr",
     )
     parser.add_argument(
+        "--faults",
+        metavar="PLAN",
+        help="apply the fault plan at PLAN (JSON, see docs/FAULTS.md) to every "
+        "point; the plan hash enters the result-cache key",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="run the experiment's CI-scale variant (a no-op for experiments "
+        "without one)",
+    )
+    parser.add_argument(
         "--trace",
         metavar="PATH",
         help="record the run and write a Perfetto/Chrome trace JSON to PATH "
@@ -161,6 +179,8 @@ def main(argv=None) -> int:
     except KeyError:
         print(f"unknown experiment {args.experiment!r}; use --list", file=sys.stderr)
         return 2
+    if args.quick:
+        experiment = experiment.quick()
 
     if (args.trace or args.events) and args.jobs > 1:
         print(
@@ -181,6 +201,7 @@ def main(argv=None) -> int:
             jobs=args.jobs,
             cache=args.cache,
             progress=args.progress,
+            faults=args.faults,
         )
     finally:
         if recorder is not None:

@@ -351,6 +351,16 @@ class Experiment:
             return next(iter(results.values()))
         return dict(results)
 
+    def quick(self) -> "Experiment":
+        """A CI-scale variant of this experiment (the CLI's ``--quick``).
+
+        Defaults to ``self``; experiments with an intrinsically cheaper
+        configuration (fewer/shorter points) return a scaled-down instance.
+        The variant must keep a distinct identity in cached results when its
+        points differ (different point configs already guarantee that).
+        """
+        return self
+
     def run_serial(self) -> dict:
         """Run every point in-process, in order, and reduce.
 
@@ -404,6 +414,7 @@ class FunctionExperiment(Experiment):
 _EXPERIMENT_MODULES = (
     "ablations",
     "ecn_priority",
+    "fault_experiments",
     "fig3_micro",
     "fig6_dualrtt",
     "fig8_testbed",

@@ -51,14 +51,22 @@ def canonical_json(obj) -> str:
     return json.dumps(json_safe(obj), sort_keys=True, separators=(",", ":"))
 
 
-def cache_key(experiment_name: str, point, version: Optional[str] = None) -> str:
-    """The content hash identifying one ``(experiment, point)`` result."""
+def cache_key(experiment_name: str, point, version: Optional[str] = None, extra=None) -> str:
+    """The content hash identifying one ``(experiment, point)`` result.
+
+    ``extra`` folds additional run-shaping state into the key — the runner
+    uses it for the active fault plan (``{"faults": plan.to_dict()}``), so a
+    faulted run never aliases a healthy one.  ``None`` (the default) leaves
+    the payload, and therefore every pre-existing key, unchanged.
+    """
     payload = {
         "experiment": experiment_name,
         "version": version if version is not None else __version__,
         "config": json_safe(point.config),
         "seed": point.seed,
     }
+    if extra is not None:
+        payload["extra"] = json_safe(extra)
     return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
 
 

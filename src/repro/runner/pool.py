@@ -30,6 +30,7 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Dict, List, Optional, Union
 
 from ..experiments.common import Experiment, Point
+from ..faults.plan import FaultPlan, current_fault_plan, set_default_fault_plan
 from ..telemetry import current_recorder, set_default_recorder
 from .cache import ResultCache, cache_key, json_safe
 
@@ -40,11 +41,16 @@ class RunnerError(RuntimeError):
     """A point failed, crashed past its retry budget, or was ill-defined."""
 
 
-def _worker_init() -> None:
+def _worker_init(faults_dict: Optional[dict] = None) -> None:
     # Workers never trace: the parent's recorder (inherited on fork) would
     # otherwise collect per-child data nobody can read back, and point
     # runners that embed telemetry would poison the result cache.
     set_default_recorder(None)
+    # The fault plan crosses the process boundary as plain data (module-level
+    # defaults do not survive a spawn start method) and is re-armed by each
+    # point's Network.build_routes().
+    if faults_dict is not None:
+        set_default_fault_plan(FaultPlan.from_dict(faults_dict))
 
 
 def _execute_point(exp: Experiment, point: Point) -> dict:
@@ -101,6 +107,7 @@ def _run_parallel(
     retry_backoff_s: float,
     counters: _Counters,
     on_done: Callable[[str, str], None],
+    faults_dict: Optional[dict] = None,
 ) -> Dict[str, dict]:
     """Fan ``points`` out over a process pool, rebuilding it on crashes.
 
@@ -116,7 +123,9 @@ def _run_parallel(
     while remaining:
         crashed = False
         with concurrent.futures.ProcessPoolExecutor(
-            max_workers=min(jobs, len(remaining)), initializer=_worker_init
+            max_workers=min(jobs, len(remaining)),
+            initializer=_worker_init,
+            initargs=(faults_dict,),
         ) as pool:
             futures = {
                 pool.submit(_execute_point, exp, p): p for p in remaining.values()
@@ -160,6 +169,7 @@ def run_experiment(
     max_retries: int = 2,
     retry_backoff_s: float = 0.25,
     report: Optional[dict] = None,
+    faults: Union[str, FaultPlan, None] = None,
 ) -> dict:
     """Run every point of ``exp`` and return its reduced result.
 
@@ -180,6 +190,13 @@ def run_experiment(
     report:
         Optional dict filled in place with run statistics
         (``points``, ``cache_hits``, ``executed``, ``jobs``, ``wall_s``).
+    faults:
+        A :class:`~repro.faults.plan.FaultPlan` (or a path to its JSON)
+        applied to every point — installed as the process default so each
+        point's ``Network.build_routes()`` arms it, in workers and in the
+        serial path alike.  The plan enters every point's cache key, so
+        faulted and healthy runs never alias.  ``None`` inherits whatever
+        default plan is already installed (still cache-keyed).
     """
     t0 = time.monotonic()
     points = list(exp.points())
@@ -187,8 +204,14 @@ def run_experiment(
     if len(set(names)) != len(names):
         raise RunnerError(f"{exp.name}: duplicate point names in points()")
 
+    if isinstance(faults, str):
+        faults = FaultPlan.load(faults)
+    plan = faults if faults is not None else current_fault_plan()
+    faults_dict = plan.to_dict() if plan is not None else None
+    extra = {"faults": faults_dict} if faults_dict is not None else None
+
     store = ResultCache(cache) if isinstance(cache, (str, bytes)) or hasattr(cache, "__fspath__") else cache
-    keys = {p.name: cache_key(exp.name, p) for p in points}
+    keys = {p.name: cache_key(exp.name, p, extra=extra) for p in points}
     if len(set(keys.values())) != len(points):
         raise RunnerError(
             f"{exp.name}: two points share a cache key — every point needs a "
@@ -220,20 +243,26 @@ def run_experiment(
     if pending:
         if jobs <= 1:
             fresh = {}
-            for p in pending:
-                try:
-                    fresh[p.name] = _execute_point(exp, p)
-                except RunnerError:
-                    raise
-                except Exception as exc:
-                    raise RunnerError(
-                        f"{exp.name}:{p.name} raised {type(exc).__name__}: {exc}"
-                    ) from exc
-                counters.inc("runner.points_executed")
-                on_done(p.name, "run")
+            prev_plan = current_fault_plan()
+            set_default_fault_plan(plan)
+            try:
+                for p in pending:
+                    try:
+                        fresh[p.name] = _execute_point(exp, p)
+                    except RunnerError:
+                        raise
+                    except Exception as exc:
+                        raise RunnerError(
+                            f"{exp.name}:{p.name} raised {type(exc).__name__}: {exc}"
+                        ) from exc
+                    counters.inc("runner.points_executed")
+                    on_done(p.name, "run")
+            finally:
+                set_default_fault_plan(prev_plan)
         else:
             fresh = _run_parallel(
-                exp, pending, jobs, max_retries, retry_backoff_s, counters, on_done
+                exp, pending, jobs, max_retries, retry_backoff_s, counters, on_done,
+                faults_dict=faults_dict,
             )
         for p in pending:
             result = _normalize(fresh[p.name])

@@ -39,6 +39,10 @@ class Network:
         #: adjacency: node_id -> list of (egress Port, peer node)
         self._adj: Dict[int, List[Tuple[Port, Node]]] = {}
         self._routes_built = False
+        #: armed by :meth:`build_routes` when a default fault plan is active
+        #: (see repro.faults.set_default_fault_plan), or set explicitly by
+        #: constructing a FaultInjector against this network
+        self.fault_injector = None
 
     # ------------------------------------------------------------------
     # construction
@@ -100,6 +104,16 @@ class Network:
         for host in self.hosts:
             self._build_routes_to(host)
         self._routes_built = True
+        # arm the process-default fault plan (if any) against this fabric;
+        # a no-op one-call check when fault injection is off
+        from ..faults.plan import current_fault_plan
+
+        plan = current_fault_plan()
+        if plan is not None and self.fault_injector is None:
+            from ..faults.injector import FaultInjector
+
+            self.fault_injector = FaultInjector(self.sim, self, plan)
+            self.fault_injector.arm()
 
     def _build_routes_to(self, dst: Host) -> None:
         """BFS from ``dst`` over the node graph; ECMP keeps all shortest hops.
@@ -192,18 +206,24 @@ class Network:
         Cutting drops everything queued on both directions (returned count)
         and removes the link from subsequent route computations; call
         :meth:`rebuild_routes` afterwards so traffic takes surviving paths.
+
+        The link must be registered on *both* endpoints' adjacency (as
+        :meth:`connect` guarantees); a half-registered link raises before
+        anything is mutated, so the network is never left with one direction
+        cut and the other forwarding.
         """
-        dropped = 0
-        found = False
-        for port, peer in self._adj[a.node_id]:
-            if peer is b:
-                found = True
-                dropped += port.cut() if not up else (port.restore() or 0)
-        for port, peer in self._adj[b.node_id]:
-            if peer is a:
-                dropped += port.cut() if not up else (port.restore() or 0)
-        if not found:
+        ports_ab = [port for port, peer in self._adj[a.node_id] if peer is b]
+        ports_ba = [port for port, peer in self._adj[b.node_id] if peer is a]
+        if not ports_ab or not ports_ba:
+            if ports_ab or ports_ba:
+                raise ValueError(
+                    f"link between {a.node_id} and {b.node_id} is only "
+                    f"registered on one endpoint (inconsistent adjacency)"
+                )
             raise ValueError(f"no link between {a.node_id} and {b.node_id}")
+        dropped = 0
+        for port in ports_ab + ports_ba:
+            dropped += port.cut() if not up else port.restore()
         return dropped
 
     def rebuild_routes(self) -> None:

@@ -67,6 +67,7 @@ class Port:
         "ecn_marker",
         "down",
         "dropped_on_cut",
+        "impairment",
         "telemetry",
     )
 
@@ -116,6 +117,12 @@ class Port:
         #: administratively/physically down: nothing transmits
         self.down = False
         self.dropped_on_cut = 0
+        #: optional link impairment (see repro.faults.actors.LinkImpairment):
+        #: an object with ``transmit(t2) -> int`` returning the (possibly
+        #: delayed) delivery time, or a negative value to corrupt the packet
+        #: on the wire.  ``None`` (the default) keeps the hot path to a
+        #: single attribute check.
+        self.impairment = None
         #: telemetry hook (see repro.telemetry); disabled path is one check
         self.telemetry = getattr(sim, "telemetry", NULL_RECORDER)
 
@@ -223,6 +230,16 @@ class Port:
         Returns the number of packets dropped.  Buffer accounting is
         released through the usual dequeue callback.  The in-flight packet
         (if any) is *not* recalled — it is already on the wire.
+
+        Cut/restore contract: :meth:`cut` drops every queued packet (the
+        count is returned, and also accumulated in ``dropped_on_cut``) and
+        marks the port ``down``; :meth:`restore` brings it back up and
+        returns the number of packets re-admitted — always ``0`` here,
+        because a cut *drops* rather than parks.  PFC ``paused`` flags are
+        untouched by both: pause state belongs to the PFC control plane and
+        survives a link flap (a rebooting *switch* loses it instead, see
+        :meth:`~repro.sim.switch.Switch.reboot`).  Both operations are
+        idempotent.
         """
         was_busy = self.busy
         self.down = True
@@ -254,11 +271,19 @@ class Port:
                 tel.link(now, self.name, False)
         return dropped
 
-    def restore(self) -> None:
-        """Bring the link back up and resume transmission."""
+    def restore(self) -> int:
+        """Bring the link back up and resume transmission.
+
+        Returns the number of packets re-admitted into the queues — ``0``
+        for this port model, which drops on :meth:`cut` instead of parking
+        (see the cut/restore contract there).  The ``int`` return keeps the
+        cut/restore pair symmetric for callers that aggregate drop counts,
+        e.g. :meth:`repro.sim.network.Network.set_link_state`.
+        """
         self.down = False
         if not self.busy:
             self._kick()
+        return 0
 
     def _kick(self) -> None:
         if self.down or not self.total_bytes:
@@ -308,9 +333,20 @@ class Port:
             peer = self.peer
             if peer is None:
                 raise RuntimeError(f"{self.name}: transmitting on an unconnected port")
+            t2 = t1 + self.prop_delay_ns
+            imp = self.impairment
+            if imp is not None:
+                # degraded link: the packet still occupies the wire for its
+                # full serialisation time, but may be corrupted (never
+                # delivered) or delivered late (delay spike)
+                t2 = imp.transmit(t2)
+                if t2 < 0:
+                    PACKET_POOL.release(pkt)
+                    sim.call_at(t1, self._tx_wake)
+                    return
             # fused: delivery at t2 scheduled up front, wake-up frees the port
             sim.call_at2(
-                t1 + self.prop_delay_ns,
+                t2,
                 peer.receive,
                 (pkt, self.peer_in_idx),
                 t1,
@@ -334,7 +370,15 @@ class Port:
         if peer is None:
             raise RuntimeError(f"{self.name}: transmitting on an unconnected port")
         sim = self.sim
-        sim.call_after(self.prop_delay_ns, peer.receive, pkt, self.peer_in_idx)
+        imp = self.impairment
+        if imp is not None:
+            t2 = imp.transmit(sim.now + self.prop_delay_ns)
+            if t2 < 0:
+                PACKET_POOL.release(pkt)
+            else:
+                sim.call_at(t2, peer.receive, pkt, self.peer_in_idx)
+        else:
+            sim.call_after(self.prop_delay_ns, peer.receive, pkt, self.peer_in_idx)
         self.busy = False
         tel = self.telemetry
         if tel.enabled and not self.down:

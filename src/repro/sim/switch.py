@@ -84,6 +84,9 @@ class Switch:
         "_n_lossless",
         "_nq",
         "_route_cache",
+        "_dead",
+        "_pfc_pauses_archived",
+        "reboots",
         "drops",
         "forwarded",
         "pfc_listeners",
@@ -110,6 +113,10 @@ class Switch:
         #: (dst, flow_id, salt) -> egress index; ecmp_hash is pure, routes are
         #: fixed after topology build, so the pick per flow never changes
         self._route_cache: Dict[tuple, int] = {}
+        #: mid-reboot: every arriving frame dies at the dark port
+        self._dead = False
+        self._pfc_pauses_archived = 0
+        self.reboots = 0
         self.drops = 0
         self.forwarded = 0
         #: observers called as ``cb(time_ns, in_idx, prio, paused)`` whenever a
@@ -168,6 +175,14 @@ class Switch:
     # data path
     # ------------------------------------------------------------------
     def receive(self, pkt: Packet, in_idx: int) -> None:
+        if self._dead:
+            # frames already on the wire when the switch went down arrive at
+            # a dark port and are lost (see :meth:`reboot`)
+            self.drops += 1
+            if self.buffer is not None:
+                self.buffer.record_drop(pkt.size, pkt.priority)
+            PACKET_POOL.release(pkt)
+            return
         try:
             routes = self.routes[pkt.dst]
         except KeyError:
@@ -184,6 +199,14 @@ class Switch:
                 ]
                 self._route_cache[rkey] = out_idx
         port = self.ports[out_idx]
+        if port.down:
+            # routes still point at a dead interface (the detection window
+            # before reconvergence): the frame blackholes here — parking it
+            # on a port that cannot drain would freeze the fabric via PFC
+            self.drops += 1
+            self.buffer.record_drop(pkt.size, pkt.priority)
+            PACKET_POOL.release(pkt)
+            return
 
         prio = pkt.priority
         size = pkt.size
@@ -251,5 +274,49 @@ class Switch:
         return send
 
     # ------------------------------------------------------------------
+    # power cycling (fault injection — see repro.faults)
+    # ------------------------------------------------------------------
+    def reboot(self) -> int:
+        """Power-cycle the switch: every link drops and volatile state dies.
+
+        All egress ports are :meth:`~repro.sim.port.Port.cut` (queued packets
+        are lost; buffer accounting drains through the normal dequeue path,
+        which also lets PFC ingress machines emit their RESUME as backlog
+        empties), then the PFC state machines, any PAUSE asserted *against*
+        this switch, and the memoised ECMP picks are flushed — a rebooted
+        chip comes back cold.  Returns the number of packets dropped.
+
+        While dead, frames already in flight toward the switch are dropped
+        on arrival in :meth:`receive`.  Call :meth:`power_on` to restore the
+        links; route state is the caller's job (``Network.rebuild_routes``).
+        """
+        self._dead = True
+        self.reboots += 1
+        dropped = 0
+        for port in self.ports:
+            dropped += port.cut()
+        for state in self._pfc.values():
+            # defensive: draining the queues should have resumed everything,
+            # but never leave a neighbour paused by a switch that lost its
+            # state (a real MAC simply stops emitting pause frames)
+            if state.pause_sent:
+                state.pause_sent = False
+                state.send_signal(False)
+        self._pfc_pauses_archived += sum(s.pauses_sent for s in self._pfc.values())
+        self._pfc.clear()
+        self._route_cache.clear()
+        for port in self.ports:
+            # PAUSE state asserted against this switch dies with it too
+            for prio in range(len(port.paused)):
+                port.paused[prio] = False
+        return dropped
+
+    def power_on(self) -> None:
+        """Bring a rebooted switch back online: links up, control state cold."""
+        self._dead = False
+        for port in self.ports:
+            port.restore()
+
+    # ------------------------------------------------------------------
     def pfc_pause_count(self) -> int:
-        return sum(s.pauses_sent for s in self._pfc.values())
+        return self._pfc_pauses_archived + sum(s.pauses_sent for s in self._pfc.values())

@@ -32,6 +32,7 @@ _FLOWS_PID = 1
 _PORTS_PID = 2
 _PFC_PID = 3
 _BUFFERS_PID = 4
+_FAULTS_PID = 5
 
 #: JSONL field names per channel (kept in sync with the Recorder tuples)
 _JSONL_FIELDS: Dict[str, Tuple[str, ...]] = {
@@ -45,6 +46,7 @@ _JSONL_FIELDS: Dict[str, Tuple[str, ...]] = {
     "link": ("t", "port", "busy"),
     "buffer": ("t", "switch", "shared_used", "headroom_used"),
     "drop": ("t", "switch", "size", "priority"),
+    "fault": ("t", "kind", "target", "phase"),
 }
 
 
@@ -129,6 +131,7 @@ def to_perfetto(recorder: Recorder) -> dict:
     tb.meta(_PORTS_PID, "ports")
     tb.meta(_PFC_PID, "pfc")
     tb.meta(_BUFFERS_PID, "buffers")
+    tb.meta(_FAULTS_PID, "faults")
     end_ts = recorder.max_ts
 
     # --- flow state spans: each transition closes the previous state -------
@@ -203,6 +206,24 @@ def to_perfetto(recorder: Recorder) -> dict:
     for t, sw, size, prio in recorder.events["drop"]:
         tid = tb.tid_for(_BUFFERS_PID, sw, sw)
         tb.instant(t, _BUFFERS_PID, tid, "drop", "drop", {"size": size, "priority": prio})
+
+    # --- fault windows: inject..clear spans, reconverge instants ------------
+    fault_open: Dict[Tuple[str, str], bool] = {}
+    for t, kind, target, phase in recorder.events["fault"]:
+        key = (kind, target)
+        tid = tb.tid_for(_FAULTS_PID, key, f"{kind} {target}")
+        if phase == "inject" and not fault_open.get(key, False):
+            tb.span_begin(t, _FAULTS_PID, tid, kind, "fault", {"target": target})
+            fault_open[key] = True
+        elif phase == "clear" and fault_open.get(key, False):
+            tb.span_end(t, _FAULTS_PID, tid)
+            fault_open[key] = False
+        else:
+            tb.instant(t, _FAULTS_PID, tid, phase, "fault", {"target": target})
+    for key, is_open in fault_open.items():
+        if is_open:
+            kind, target = key
+            tb.span_end(end_ts, _FAULTS_PID, tb.tid_for(_FAULTS_PID, key, f"{kind} {target}"))
 
     return {
         "traceEvents": tb.render(),

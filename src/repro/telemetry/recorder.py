@@ -32,6 +32,8 @@ queue      ``(t, port, queue, queue_bytes, total_bytes)`` — on change
 link       ``(t, port, busy)`` — egress transmit busy/idle transitions
 buffer     ``(t, switch, shared_used, headroom_used)`` — on change
 drop       ``(t, switch, size, priority)`` — shared-buffer tail drop
+fault      ``(t, kind, target, phase)`` — fault-injection lifecycle
+           (phase: ``inject`` / ``clear`` / ``reconverge``, see repro.faults)
 ========== =============================================================
 """
 
@@ -63,6 +65,7 @@ CHANNELS: Tuple[str, ...] = (
     "link",
     "buffer",
     "drop",
+    "fault",
 )
 
 
@@ -225,6 +228,20 @@ class Recorder:
         simulator entirely."""
         self._note(t)
         self._c_sim_events.inc(n)
+
+    def fault(self, t: int, kind: str, target: str, phase: str) -> None:
+        """One fault-injection lifecycle transition (see :mod:`repro.faults`).
+
+        ``kind`` is the fault type (``link_down`` / ``link_degrade`` /
+        ``switch_reboot`` / ``pfc_storm``), ``target`` the affected link or
+        node, ``phase`` one of ``inject`` / ``clear`` / ``reconverge``.
+        """
+        if "fault" not in self.channels:
+            return
+        self._note(t)
+        if self.keep_events:
+            self.events["fault"].append((t, kind, target, phase))
+        self.metrics.counter(f"faults.{phase}").inc()
 
     def buffer_drop(self, t: int, switch: str, size: int, priority: int) -> None:
         if "drop" not in self.channels:

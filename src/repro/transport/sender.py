@@ -245,7 +245,10 @@ class FlowSender:
             self.acked[seq] = 1
             self.acked_count += 1
             newly = self.payload_of(seq)
-            self.inflight_bytes -= newly
+            if self.sent[seq]:
+                # a packet presumed lost at RTO (sent flag cleared, window
+                # already released) may still be delivered; don't deduct twice
+                self.inflight_bytes -= newly
             self.acked_payload += newly
         self._fast_retx_check(pkt)
         info = AckInfo(
@@ -308,9 +311,14 @@ class FlowSender:
             self._rto_ev = self.sim.after(self.rto_ns - since, self._on_rto)
             return
         if self.probe_outstanding:
+            # the probe died on the wire; resend it, but don't let it shadow
+            # data-loss recovery below — a blackhole that ate the probe ate
+            # the in-flight data too, and waiting another full RTO to notice
+            # doubles the outage
             self.probe_outstanding = False
             self._send_probe()
-            return
+            if self.inflight_bytes == 0:
+                return
         if self.inflight_bytes == 0 and not self.stopped:
             # nothing outstanding: just resume sending
             self.try_send()
@@ -320,9 +328,20 @@ class FlowSender:
             self._retx_scan += 1
         if self._retx_scan < self.n_packets and self.sent[self._retx_scan]:
             self.cc.on_timeout()
-            self._queue_retx(self._retx_scan)
+            # go-back-N: a full RTO of silence means the pipe is dead, so
+            # everything sent-but-unacked is presumed lost.  Release the
+            # window those bytes were holding and queue them all — otherwise
+            # each lost packet would cost its own RTO (one retransmit per
+            # timeout with the rest still pinning cwnd), turning a short
+            # blackhole into milliseconds of head-of-line stall.
+            for seq in range(self._retx_scan, self.next_new_seq):
+                if self.sent[seq] and not self.acked[seq]:
+                    self.sent[seq] = 0
+                    self.inflight_bytes -= self.payload_of(seq)
+                    self._queue_retx(seq)
             if not self.stopped:
                 self._send_seq_force(self._retx_scan)
+                self.try_send()
         self._arm_rto()
 
     def _send_seq_force(self, seq: int) -> None:

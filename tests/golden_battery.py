@@ -37,7 +37,7 @@ from repro.experiments.quickstart import run_quickstart
 from repro.sim.engine import Simulator
 from repro.sim.pfc import PfcConfig
 from repro.sim.switch import SwitchConfig
-from repro.topology import fat_tree, star
+from repro.topology import fat_tree, leaf_spine, star
 from repro.transport.flow import Flow
 from repro.transport.sender import FlowSender
 
@@ -115,6 +115,42 @@ def cut_mid_flight() -> dict:
     return out
 
 
+def faulted_flap_mid_run() -> dict:
+    """Declarative fault plan: a spine uplink flaps twice mid-transfer.
+
+    Pins the whole repro.faults stack — schedule expansion from the plan's
+    own RNG, blackhole drops during the detection window, route
+    reconvergence, restore, and RTO/go-back-N recovery — byte-for-byte.
+    """
+    from repro.faults import FaultInjector, FaultPlan, FaultSpec, Schedule
+
+    sim = Simulator(17)
+    cfg = SwitchConfig(n_queues=2, buffer_bytes=8 * 1024 * 1024)
+    net, hosts = leaf_spine(
+        sim, n_leaves=2, hosts_per_leaf=1, n_spines=2, host_rate_bps=10e9,
+        oversubscription=1.0, link_delay_ns=1_000, switch_cfg=cfg,
+    )
+    plan = FaultPlan(
+        [
+            FaultSpec(
+                "link_down",
+                ["leaf0", "spine0"],
+                Schedule("flap", at_ns=40_000, duration_ns=60_000, period_ns=200_000, count=2),
+            )
+        ],
+        seed=23,
+        detection_ns=20_000,
+    )
+    injector = FaultInjector(sim, net, plan).arm()
+    flows = [Flow(1, hosts[0], hosts[1], 400_000), Flow(2, hosts[1], hosts[0], 250_000)]
+    for f in flows:
+        FlowSender(sim, net, f, CongestionControl(init_cwnd_bytes=64_000), rto_ns=200_000)
+    sim.run(until=1_000_000_000)
+    out = _flow_stats(sim, net, flows)
+    out["faults"] = injector.stats()
+    return out
+
+
 def hpcc_fat_tree() -> dict:
     """HPCC (INT stamping on every hop) across a k=4 fat-tree with ECMP."""
     sim = Simulator(5)
@@ -181,6 +217,7 @@ BATTERY: List[Tuple[str, Callable[[], object]]] = [
     ("pfc_incast", pfc_incast),
     ("lossy_rto_recovery", lossy_rto_recovery),
     ("cut_mid_flight", cut_mid_flight),
+    ("faulted_flap_mid_run", faulted_flap_mid_run),
     ("hpcc_fat_tree", hpcc_fat_tree),
     ("paused_priority_star", paused_priority_star),
 ]

@@ -323,6 +323,25 @@ def test_pool_disabled_mode_constructs_and_ignores_release():
     assert pool.reused == 0 and pool.released == 0
 
 
+def test_port_cut_returns_queued_pooled_packets_to_free_list():
+    """Port-level pin of the cut contract: queued pooled packets go back to
+    the free list at cut time, the in-flight one still delivers."""
+    if not PACKET_POOL.enabled:
+        pytest.skip("pool disabled via REPRO_PACKET_POOL=0")
+    live_before = PACKET_POOL.live
+    sim, port, sink = make_port()
+    for i in range(5):
+        port.enqueue(PACKET_POOL.acquire(DATA, 1000, src=0, dst=1, flow_id=1, seq=i))
+    dropped = port.cut()
+    assert dropped == 4  # head is mid-transmission, 4 queued die
+    assert PACKET_POOL.live == live_before + 1  # only the in-flight one out
+    sim.run()
+    assert len(sink.received) == 1  # the wire finished its frame
+    PACKET_POOL.release(sink.received[0][0])  # sink is the terminal owner
+    assert PACKET_POOL.live == live_before
+    assert port.restore() == 0  # restore never drops, by contract
+
+
 def test_end_to_end_run_leaks_no_packets():
     if not PACKET_POOL.enabled:
         pytest.skip("pool disabled via REPRO_PACKET_POOL=0")

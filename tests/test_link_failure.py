@@ -5,6 +5,7 @@ import pytest
 from repro.cc import Swift, SwiftParams
 from repro.cc.base import CongestionControl
 from repro.sim.engine import Simulator
+from repro.sim.packet import PACKET_POOL
 from repro.sim.switch import SwitchConfig
 from repro.topology import fat_tree, star
 from repro.transport.flow import Flow
@@ -64,6 +65,64 @@ def test_flow_survives_core_link_failure_on_fat_tree():
     FlowSender(sim, net, flow2, Swift(SwiftParams(target_scaling=False)))
     sim.run(until=sim.now + 500_000_000)
     assert flow2.done
+
+
+def test_cut_mid_flight_leaks_no_packets_both_directions():
+    """Cut a link with packets queued in *both* directions: every dropped
+    packet must return to the pool, and RTO recovery completes all flows."""
+    if not PACKET_POOL.enabled:
+        pytest.skip("pool disabled via REPRO_PACKET_POOL=0")
+    live_before = PACKET_POOL.live
+    sim = Simulator(3)
+    cfg = SwitchConfig(n_queues=2, buffer_bytes=8 * 1024 * 1024)
+    net, senders, recv = star(sim, 2, rate_bps=10e9, link_delay_ns=1_000, switch_cfg=cfg)
+    flows = [
+        Flow(1, senders[0], recv, 150_000),  # incast: queue on switch->recv
+        Flow(2, senders[1], recv, 150_000),
+        Flow(3, recv, senders[0], 150_000),  # reverse: queue on recv's NIC
+    ]
+    for f in flows:
+        FlowSender(sim, net, f, CongestionControl(init_cwnd_bytes=150_000), rto_ns=300_000)
+    sim.run(until=30_000)
+    sw = net.switches[0]
+    sw_to_recv = net.path_ports(senders[0], recv)[-1]
+    recv_to_sw = net.path_ports(recv, senders[0])[0]
+    assert sum(sw_to_recv.qbytes) > 0 and sum(recv_to_sw.qbytes) > 0
+    dropped = net.set_link_state(sw, recv, up=False)
+    assert dropped > 0
+    sim.run(until=120_000)  # RTOs fire into the dead link
+    net.set_link_state(sw, recv, up=True)
+    sim.run(until=10_000_000_000)
+    assert all(f.done for f in flows)
+    sim.run()  # drain trailing ACK deliveries
+    assert PACKET_POOL.live == live_before
+
+
+def test_flap_while_pfc_paused_link_recovers():
+    """Cut + restore a link whose egress class is PFC-paused throughout.
+
+    The pause must gate transmission across the flap (restore does not leak
+    paused traffic), and releasing the pause lets RTO recovery finish."""
+    sim = Simulator(13)
+    cfg = SwitchConfig(n_queues=4, buffer_bytes=8 * 1024 * 1024)
+    net, senders, recv = star(sim, 2, rate_bps=10e9, link_delay_ns=500, switch_cfg=cfg)
+    flow = Flow(1, senders[0], recv, 100_000, priority=0)
+    FlowSender(sim, net, flow, CongestionControl(init_cwnd_bytes=100_000), rto_ns=300_000)
+    bottleneck = net.path_ports(senders[0], recv)[-1]
+    sim.at(10_000, bottleneck.set_paused, 0, True)
+    sim.run(until=20_000)
+    assert bottleneck.paused[0] and sum(bottleneck.qbytes) > 0
+    sw = net.switches[0]
+    dropped = net.set_link_state(sw, recv, up=False)  # cut while paused
+    assert dropped > 0
+    sim.run(until=40_000)
+    assert net.set_link_state(sw, recv, up=True) == 0  # flap back up, still paused
+    rx_at_restore = recv.rx_packets
+    sim.run(until=200_000)
+    assert recv.rx_packets == rx_at_restore  # pause survives the flap
+    bottleneck.set_paused(0, False)
+    sim.run(until=10_000_000_000)
+    assert flow.done
 
 
 def test_reroute_excludes_down_links():
