@@ -43,7 +43,7 @@ import sys
 from typing import Callable, Dict
 
 from .experiments.common import REGISTRY
-from .runner import run_bench, run_experiment, write_bench
+from .runner import RunnerError, run_bench, run_experiment, write_bench
 from .runner.cache import json_safe
 from .telemetry import Recorder, set_default_recorder, write_events_jsonl, write_perfetto
 
@@ -153,6 +153,18 @@ def main(argv=None) -> int:
         "without one)",
     )
     parser.add_argument(
+        "--audit",
+        nargs="?",
+        const="strict",
+        choices=("strict", "warn"),
+        default=None,
+        metavar="MODE",
+        help="run every executed point under the invariant auditor (see "
+        "docs/AUDIT.md); 'strict' (the default when the flag is bare) fails "
+        "at the first violation, 'warn' aggregates violations into the "
+        "result's 'audit' key",
+    )
+    parser.add_argument(
         "--trace",
         metavar="PATH",
         help="record the run and write a Perfetto/Chrome trace JSON to PATH "
@@ -202,7 +214,11 @@ def main(argv=None) -> int:
             cache=args.cache,
             progress=args.progress,
             faults=args.faults,
+            audit=args.audit,
         )
+    except RunnerError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     finally:
         if recorder is not None:
             set_default_recorder(None)

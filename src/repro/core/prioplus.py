@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..audit.auditor import NULL_AUDITOR
 from ..telemetry.recorder import NULL_RECORDER
 from ..transport.flow import AckInfo
 from .channels import ChannelConfig
@@ -108,6 +109,7 @@ class PrioPlusCC:
         self.linear_start_steps = 0
         self.adaptive_increases = 0
         self._tel = NULL_RECORDER
+        self._aud = NULL_AUDITOR
 
     # ------------------------------------------------------------------
     # window delegation: the sender reads PrioPlusCC.cwnd
@@ -128,6 +130,7 @@ class PrioPlusCC:
     def attach(self, sender) -> None:
         self.sender = sender
         self._tel = getattr(sender.sim, "telemetry", NULL_RECORDER)
+        self._aud = getattr(sender, "audit", NULL_AUDITOR)
         self.inner.attach(sender)
         self.base_rtt = sender.base_rtt
         self.base_bdp = sender.bdp_bytes
@@ -254,6 +257,11 @@ class PrioPlusCC:
             tel.flow_state(self.sender.sim.now, self.sender.flow.flow_id, "relinquished")
         self.sender.stop_sending()
         self._schedule_probe(delay)
+        aud = self._aud
+        if aud.enabled:
+            # a relinquished flow must always hold a pending probe (or an
+            # outstanding one): that probe is its only path back to sending
+            aud.prioplus_relinquish(self.sender.sim.now, self.sender)
 
     def _schedule_probe(self, delay: int) -> None:
         if self.collision_avoidance:

@@ -29,6 +29,7 @@ import time
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Dict, List, Optional, Union
 
+from ..audit import audit_scope
 from ..experiments.common import Experiment, Point
 from ..faults.plan import FaultPlan, current_fault_plan, set_default_fault_plan
 from ..telemetry import current_recorder, set_default_recorder
@@ -53,14 +54,30 @@ def _worker_init(faults_dict: Optional[dict] = None) -> None:
         set_default_fault_plan(FaultPlan.from_dict(faults_dict))
 
 
-def _execute_point(exp: Experiment, point: Point) -> dict:
-    result = exp.run_point(point)
+def _execute_point(exp: Experiment, point: Point, audit_mode: Optional[str] = None) -> dict:
+    """Run one point, optionally under a fresh per-point auditor.
+
+    The audit report crosses the process boundary riding in the result dict
+    under ``"audit"``; :func:`run_experiment` pops it back out *before* the
+    result is normalized or cached, so cache entries stay audit-independent
+    (legitimate, because an audited simulation is byte-identical to an
+    unaudited one — pinned by the golden battery's ``--audit`` mode).
+    """
+    if audit_mode is None:
+        result = exp.run_point(point)
+    else:
+        # strict mode raises AuditError at the violation site (or from the
+        # end-of-scope finalize), failing the point like any other exception
+        with audit_scope(audit_mode) as aud:
+            result = exp.run_point(point)
     if not isinstance(result, dict):
         raise RunnerError(
             f"{exp.name}:{point.name}: run_point must return a dict, "
             f"got {type(result).__name__}"
         )
     result.pop("telemetry", None)
+    if audit_mode is not None:
+        result["audit"] = aud.report.to_dict()
     return result
 
 
@@ -108,6 +125,7 @@ def _run_parallel(
     counters: _Counters,
     on_done: Callable[[str, str], None],
     faults_dict: Optional[dict] = None,
+    audit_mode: Optional[str] = None,
 ) -> Dict[str, dict]:
     """Fan ``points`` out over a process pool, rebuilding it on crashes.
 
@@ -128,7 +146,8 @@ def _run_parallel(
             initargs=(faults_dict,),
         ) as pool:
             futures = {
-                pool.submit(_execute_point, exp, p): p for p in remaining.values()
+                pool.submit(_execute_point, exp, p, audit_mode): p
+                for p in remaining.values()
             }
             for fut in concurrent.futures.as_completed(futures):
                 point = futures[fut]
@@ -170,6 +189,7 @@ def run_experiment(
     retry_backoff_s: float = 0.25,
     report: Optional[dict] = None,
     faults: Union[str, FaultPlan, None] = None,
+    audit: Optional[str] = None,
 ) -> dict:
     """Run every point of ``exp`` and return its reduced result.
 
@@ -197,7 +217,16 @@ def run_experiment(
         serial path alike.  The plan enters every point's cache key, so
         faulted and healthy runs never alias.  ``None`` inherits whatever
         default plan is already installed (still cache-keyed).
+    audit:
+        ``"strict"`` or ``"warn"`` runs every *executed* point under a fresh
+        :class:`repro.audit.Auditor` (in workers and the serial path alike)
+        and aggregates the per-point reports into ``reduced["audit"]``.
+        Strict mode fails the run at the first violation.  Audited results
+        are byte-identical to unaudited ones, so cache entries are shared
+        with unaudited runs; cache-hit points are counted but not re-audited.
     """
+    if audit is not None and audit not in ("strict", "warn"):
+        raise RunnerError(f"audit must be 'strict', 'warn' or None, got {audit!r}")
     t0 = time.monotonic()
     points = list(exp.points())
     names = [p.name for p in points]
@@ -229,6 +258,7 @@ def run_experiment(
             pass
 
     results: Dict[str, dict] = {}
+    audit_reports: Dict[str, dict] = {}
     pending: List[Point] = []
     for p in points:
         entry = store.get(exp.name, keys[p.name]) if store is not None else None
@@ -248,7 +278,7 @@ def run_experiment(
             try:
                 for p in pending:
                     try:
-                        fresh[p.name] = _execute_point(exp, p)
+                        fresh[p.name] = _execute_point(exp, p, audit)
                     except RunnerError:
                         raise
                     except Exception as exc:
@@ -262,16 +292,30 @@ def run_experiment(
         else:
             fresh = _run_parallel(
                 exp, pending, jobs, max_retries, retry_backoff_s, counters, on_done,
-                faults_dict=faults_dict,
+                faults_dict=faults_dict, audit_mode=audit,
             )
         for p in pending:
-            result = _normalize(fresh[p.name])
+            raw = fresh[p.name]
+            rep = raw.pop("audit", None) if isinstance(raw, dict) else None
+            if rep is not None:
+                audit_reports[p.name] = rep
+            result = _normalize(raw)
             results[p.name] = result
             if store is not None:
                 store.put(exp.name, keys[p.name], p, result)
 
     ordered = {p.name: results[p.name] for p in points}
     reduced = exp.reduce(ordered)
+    if audit is not None and isinstance(reduced, dict):
+        total_violations = sum(r["violation_count"] for r in audit_reports.values())
+        reduced["audit"] = {
+            "mode": audit,
+            "ok": total_violations == 0,
+            "violation_count": total_violations,
+            "points_audited": len(audit_reports),
+            "points_cached": len(points) - len(pending),
+            "points": audit_reports,
+        }
     if report is not None:
         report.update(
             experiment=exp.name,
@@ -281,4 +325,8 @@ def run_experiment(
             jobs=jobs,
             wall_s=time.monotonic() - t0,
         )
+        if audit is not None:
+            report["audit_violations"] = sum(
+                r["violation_count"] for r in audit_reports.values()
+            )
     return reduced

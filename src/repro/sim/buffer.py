@@ -16,20 +16,36 @@ priorities — headroom is assumed to live outside the chip buffer.
 
 from __future__ import annotations
 
+from ..audit.auditor import default_auditor
 from ..telemetry.recorder import NULL_RECORDER
 
 __all__ = ["SharedBuffer", "BufferStats"]
 
 
 class BufferStats:
-    """Counters exported by a :class:`SharedBuffer`."""
+    """Counters exported by a :class:`SharedBuffer`.
 
-    __slots__ = ("admitted_shared", "admitted_headroom", "dropped", "peak_shared", "peak_headroom")
+    ``dropped`` counts *packets* rejected by the buffer — a packet refused by
+    the shared pool and then refused by headroom is one drop, not two.
+    ``dropped_by_reason`` splits that count by the pool that made the final
+    decision (``"buffer_shared"`` / ``"buffer_headroom"``) plus any caller-
+    supplied reason, and always sums to ``dropped``.
+    """
+
+    __slots__ = (
+        "admitted_shared",
+        "admitted_headroom",
+        "dropped",
+        "dropped_by_reason",
+        "peak_shared",
+        "peak_headroom",
+    )
 
     def __init__(self):
         self.admitted_shared = 0
         self.admitted_headroom = 0
         self.dropped = 0
+        self.dropped_by_reason = {}
         self.peak_shared = 0
         self.peak_headroom = 0
 
@@ -64,12 +80,30 @@ class SharedBuffer:
         self.telemetry = NULL_RECORDER
         self.sim = None
         self.name = ""
+        # byte-reconciliation auditor; adopted from the process default so the
+        # shadow ledger sees admits/releases even before bind_telemetry
+        self.audit = default_auditor()
 
     def bind_telemetry(self, sim, name: str) -> None:
-        """Attach a clock + identity so occupancy/drop events can be emitted."""
+        """Attach a clock + identity so occupancy/drop events can be emitted.
+
+        Fails fast on a clock-less binding: emission sites dereference
+        ``self.sim.now``, so accepting a ``None``/clock-less sim here would
+        defer the crash to the first admitted packet.
+        """
+        if sim is None or not hasattr(sim, "now"):
+            raise ValueError(
+                f"bind_telemetry({name!r}): sim must provide a .now clock, got {sim!r}"
+            )
         self.sim = sim
         self.name = name
         self.telemetry = getattr(sim, "telemetry", NULL_RECORDER)
+        self.audit = getattr(sim, "audit", self.audit)
+
+    def _now(self) -> int:
+        """Clock for emission sites; 0 while unbound (audit-only use)."""
+        sim = self.sim
+        return sim.now if sim is not None else 0
 
     # ------------------------------------------------------------------
     @property
@@ -95,7 +129,15 @@ class SharedBuffer:
             stats.peak_shared = new_used
         tel = self.telemetry
         if tel.enabled:
+            if self.sim is None:
+                raise RuntimeError(
+                    "SharedBuffer has an enabled recorder but no clock: "
+                    "call bind_telemetry(sim, name) before admitting packets"
+                )
             tel.buffer_occupancy(self.sim.now, self.name, new_used, self.headroom_used)
+        aud = self.audit
+        if aud.enabled:
+            aud.buffer_admit(self._now(), self, False, size)
         return True
 
     def try_admit_headroom(self, size: int) -> bool:
@@ -108,7 +150,15 @@ class SharedBuffer:
             self.stats.peak_headroom = self.headroom_used
         tel = self.telemetry
         if tel.enabled:
+            if self.sim is None:
+                raise RuntimeError(
+                    "SharedBuffer has an enabled recorder but no clock: "
+                    "call bind_telemetry(sim, name) before admitting packets"
+                )
             tel.buffer_occupancy(self.sim.now, self.name, self.shared_used, self.headroom_used)
+        aud = self.audit
+        if aud.enabled:
+            aud.buffer_admit(self._now(), self, True, size)
         return True
 
     def release(self, size: int, from_headroom: bool) -> None:
@@ -123,10 +173,32 @@ class SharedBuffer:
                 raise AssertionError("shared-pool accounting went negative")
         tel = self.telemetry
         if tel.enabled:
+            if self.sim is None:
+                raise RuntimeError(
+                    "SharedBuffer has an enabled recorder but no clock: "
+                    "call bind_telemetry(sim, name) before releasing packets"
+                )
             tel.buffer_occupancy(self.sim.now, self.name, self.shared_used, self.headroom_used)
+        aud = self.audit
+        if aud.enabled:
+            aud.buffer_release(self._now(), self, from_headroom, size)
 
-    def record_drop(self, size: int = 0, priority: int = -1) -> None:
-        self.stats.dropped += 1
+    def record_drop(self, size: int = 0, priority: int = -1, reason: str = "buffer_shared") -> None:
+        """Count one rejected packet under ``reason``.
+
+        Callers invoke this exactly once per dropped packet, with the reason
+        of the *final* rejection (a lossless packet refused by the shared
+        pool and then by headroom is one ``"buffer_headroom"`` drop).
+        """
+        stats = self.stats
+        stats.dropped += 1
+        by_reason = stats.dropped_by_reason
+        by_reason[reason] = by_reason.get(reason, 0) + 1
         tel = self.telemetry
         if tel.enabled:
-            tel.buffer_drop(self.sim.now, self.name, size, priority)
+            if self.sim is None:
+                raise RuntimeError(
+                    "SharedBuffer has an enabled recorder but no clock: "
+                    "call bind_telemetry(sim, name) before recording drops"
+                )
+            tel.buffer_drop(self.sim.now, self.name, size, priority, reason)

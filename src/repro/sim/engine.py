@@ -27,6 +27,7 @@ import heapq
 import random
 from typing import Any, Callable, List, Optional
 
+from ..audit.auditor import default_auditor
 from ..telemetry.recorder import default_recorder
 
 __all__ = ["Simulator", "EventHandle", "SECOND", "MILLISECOND", "MICROSECOND"]
@@ -97,6 +98,12 @@ class Simulator:
         #: telemetry recorder adopted at construction (see repro.telemetry);
         #: components snapshot this, keeping the disabled path to one check
         self.telemetry = default_recorder()
+        #: invariant auditor adopted at construction (see repro.audit); the
+        #: audited run loop is selected once per run() call, so the audit-off
+        #: hot loop is byte-for-byte the one below
+        self.audit = default_auditor()
+        if self.audit.enabled:
+            self.audit.register_sim(self)
 
     # ------------------------------------------------------------------
     # scheduling
@@ -184,6 +191,8 @@ class Simulator:
         """Run events until the heap is empty, ``until`` is reached, or
         ``max_events`` have fired.  Returns the number of events processed.
         """
+        if self.audit.enabled:
+            return self._run_audited(until, max_events)
         heap = self._heap
         processed = 0
         exhausted = True  # no more events at or before `until`
@@ -241,6 +250,72 @@ class Simulator:
             # beyond it — callers poll in run(until=...) loops
             self.now = until
         self.events_processed += processed
+        tel = self.telemetry
+        if processed and tel.enabled:
+            tel.sim_events(self.now, processed)
+        return processed
+
+    def _run_audited(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Audited twin of :meth:`run`.
+
+        Identical control flow plus a per-event clock-monotonicity check on
+        both heap entry shapes (the fused ``call_at``/``call_at2`` path and
+        the classic :class:`EventHandle` path).  Kept separate so the
+        audit-off hot loop above carries zero extra work.
+        """
+        aud = self.audit
+        heap = self._heap
+        processed = 0
+        exhausted = True
+        self._running = True
+        pop = heapq.heappop
+        horizon = (1 << 63) if until is None else until
+        limit = (1 << 63) if max_events is None else max_events
+        try:
+            while heap:
+                entry = heap[0]
+                if len(entry) == 4:
+                    time = entry[0]
+                    if time > horizon:
+                        break
+                    if processed >= limit:
+                        exhausted = False
+                        break
+                    pop(heap)
+                    if time < self.now:
+                        aud.clock_violation(time, self.now)
+                    self.now = time
+                    entry[2](*entry[3])
+                    processed += 1
+                    continue
+                ev = entry[2]
+                if ev.cancelled:
+                    pop(heap)
+                    self._cancelled -= 1
+                    continue
+                time = entry[0]
+                if time > horizon:
+                    break
+                if processed >= limit:
+                    exhausted = False
+                    break
+                pop(heap)
+                if time < self.now:
+                    aud.clock_violation(time, self.now)
+                self.now = time
+                fn = ev.fn
+                args = ev.args
+                ev.cancelled = True
+                ev.sim = None
+                fn(*args)
+                processed += 1
+        finally:
+            self._running = False
+            self._live -= processed
+        if exhausted and until is not None and self.now < until:
+            self.now = until
+        self.events_processed += processed
+        aud.clock_checked(processed)
         tel = self.telemetry
         if processed and tel.enabled:
             tel.sim_events(self.now, processed)

@@ -31,6 +31,7 @@ class Host:
         "receivers",
         "rx_bytes",
         "rx_packets",
+        "audit",
     )
 
     def __init__(self, sim: Simulator, node_id: int, n_queues: int = 8, name: str = ""):
@@ -45,6 +46,7 @@ class Host:
         self.receivers: Dict[int, object] = {}
         self.rx_bytes = 0
         self.rx_packets = 0
+        self.audit = sim.audit
 
     #: host NIC queue count: room for 16 virtual priorities plus an ACK queue
     NIC_QUEUES = 18
@@ -92,6 +94,9 @@ class Host:
             raise RuntimeError(f"{self.name}: unknown packet kind {kind}")
         if endpoint is not None:
             endpoint.on_packet(pkt)
+        aud = self.audit
+        if aud.enabled:
+            aud.packet_delivered(pkt.size)
         # the host is the packet's terminal owner: endpoints read fields
         # synchronously in on_packet and never retain the object
         PACKET_POOL.release(pkt)

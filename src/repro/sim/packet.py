@@ -13,6 +13,8 @@ from __future__ import annotations
 import os
 from typing import Any, List, Optional, Tuple
 
+from ..audit.auditor import NULL_AUDITOR
+
 __all__ = [
     "Packet",
     "PacketPool",
@@ -150,7 +152,7 @@ class PacketPool:
     no-op — useful to rule the pool out when chasing aliasing bugs.
     """
 
-    __slots__ = ("enabled", "_free", "allocated", "reused", "released")
+    __slots__ = ("enabled", "_free", "allocated", "reused", "released", "audit")
 
     def __init__(self, enabled: bool = True):
         self.enabled = enabled
@@ -158,6 +160,8 @@ class PacketPool:
         self.allocated = 0  # fresh constructions through acquire()
         self.reused = 0  # acquisitions served from the free list
         self.released = 0
+        #: set by repro.audit.set_default_auditor; feeds the conservation ledger
+        self.audit = NULL_AUDITOR
 
     def acquire(
         self,
@@ -172,6 +176,9 @@ class PacketPool:
         send_ts: int = 0,
     ) -> Packet:
         """A fully-reset packet: recycled when possible, fresh otherwise."""
+        aud = self.audit
+        if aud.enabled:
+            aud.packet_acquired()
         free = self._free
         if free:
             pkt = free.pop()
@@ -201,6 +208,11 @@ class PacketPool:
 
     def release(self, pkt: Packet) -> None:
         """Recycle a packet whose last owner is done with it."""
+        # ledger hook sits above the enabled early-out so packet conservation
+        # is tracked even in REPRO_PACKET_POOL=0 debug mode
+        aud = self.audit
+        if aud.enabled:
+            aud.packet_released()
         if not self.enabled:
             return
         if pkt._in_pool:

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional, Tuple
 
+from ..audit.auditor import NULL_AUDITOR
 from ..telemetry.recorder import NULL_RECORDER
 from .buffer import SharedBuffer
 from .engine import Simulator
@@ -57,6 +58,7 @@ class PfcIngressState:
         "resumes_sent",
         "key",
         "telemetry",
+        "audit",
     )
 
     def __init__(
@@ -79,6 +81,7 @@ class PfcIngressState:
         #: (switch name, ingress index, priority) — telemetry identity
         self.key = key
         self.telemetry = getattr(sim, "telemetry", NULL_RECORDER)
+        self.audit = getattr(sim, "audit", NULL_AUDITOR)
 
     def _xoff(self) -> float:
         cfg = self.cfg
@@ -88,6 +91,9 @@ class PfcIngressState:
 
     def on_enqueue(self, size: int) -> None:
         self.bytes += size
+        aud = self.audit
+        if aud.enabled:
+            aud.pfc_backlog(self.sim.now, self.key, self.bytes)
         cfg = self.cfg
         if not cfg.enabled or self.pause_sent:
             return
@@ -110,6 +116,9 @@ class PfcIngressState:
         self.bytes -= size
         if self.bytes < 0:
             raise AssertionError("PFC ingress accounting went negative")
+        aud = self.audit
+        if aud.enabled:
+            aud.pfc_backlog(self.sim.now, self.key, self.bytes)
         if self.pause_sent and self.bytes <= min(self.cfg.xon_bytes, self._xoff()):
             self.pause_sent = False
             self.resumes_sent += 1

@@ -69,6 +69,7 @@ class Port:
         "dropped_on_cut",
         "impairment",
         "telemetry",
+        "audit",
     )
 
     def __init__(
@@ -125,6 +126,10 @@ class Port:
         self.impairment = None
         #: telemetry hook (see repro.telemetry); disabled path is one check
         self.telemetry = getattr(sim, "telemetry", NULL_RECORDER)
+        #: invariant auditor snapshot (see repro.audit)
+        self.audit = sim.audit
+        if self.audit.enabled:
+            self.audit.register_port(self)
 
     # ------------------------------------------------------------------
     @property
@@ -245,6 +250,7 @@ class Port:
         self.down = True
         dropped = 0
         drained: List[int] = []
+        aud = self.audit
         for q in range(self.n_queues):
             queue = self.queues[q]
             if not queue:
@@ -256,6 +262,8 @@ class Port:
                 self.total_bytes -= pkt.size
                 if self.on_dequeue is not None:
                     self.on_dequeue(pkt, pkt.ctx)
+                if aud.enabled:
+                    aud.packet_dropped("link_cut", pkt.size)
                 PACKET_POOL.release(pkt)
                 dropped += 1
         self._active = 0
@@ -341,6 +349,9 @@ class Port:
                 # delivered) or delivered late (delay spike)
                 t2 = imp.transmit(t2)
                 if t2 < 0:
+                    aud = self.audit
+                    if aud.enabled:
+                        aud.packet_corrupted(pkt.size)
                     PACKET_POOL.release(pkt)
                     sim.call_at(t1, self._tx_wake)
                     return
@@ -374,6 +385,9 @@ class Port:
         if imp is not None:
             t2 = imp.transmit(sim.now + self.prop_delay_ns)
             if t2 < 0:
+                aud = self.audit
+                if aud.enabled:
+                    aud.packet_corrupted(pkt.size)
                 PACKET_POOL.release(pkt)
             else:
                 sim.call_at(t2, peer.receive, pkt, self.peer_in_idx)

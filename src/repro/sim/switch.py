@@ -90,6 +90,7 @@ class Switch:
         "drops",
         "forwarded",
         "pfc_listeners",
+        "audit",
     )
 
     def __init__(self, sim: Simulator, node_id: int, cfg: SwitchConfig, name: str = ""):
@@ -125,6 +126,9 @@ class Switch:
         #: traffic has started (unlike the old ``_make_signal_sender``
         #: monkey-patching, which silently missed already-created state).
         self.pfc_listeners: List[Callable[[int, int, int, bool], None]] = []
+        self.audit = sim.audit
+        if self.audit.enabled:
+            self.audit.register_switch(self)
 
     # ------------------------------------------------------------------
     # topology wiring
@@ -180,7 +184,10 @@ class Switch:
             # a dark port and are lost (see :meth:`reboot`)
             self.drops += 1
             if self.buffer is not None:
-                self.buffer.record_drop(pkt.size, pkt.priority)
+                self.buffer.record_drop(pkt.size, pkt.priority, "switch_dead")
+            aud = self.audit
+            if aud.enabled:
+                aud.packet_dropped("switch_dead", pkt.size)
             PACKET_POOL.release(pkt)
             return
         try:
@@ -204,7 +211,10 @@ class Switch:
             # before reconvergence): the frame blackholes here — parking it
             # on a port that cannot drain would freeze the fabric via PFC
             self.drops += 1
-            self.buffer.record_drop(pkt.size, pkt.priority)
+            self.buffer.record_drop(pkt.size, pkt.priority, "blackhole")
+            aud = self.audit
+            if aud.enabled:
+                aud.packet_dropped("blackhole", pkt.size)
             PACKET_POOL.release(pkt)
             return
 
@@ -217,8 +227,14 @@ class Switch:
             if lossless and buf.try_admit_headroom(size):
                 from_headroom = 1
             else:
-                buf.record_drop(size, prio)
+                # one packet, one drop — the reason is the pool that made the
+                # final call (headroom for lossless traffic, shared otherwise)
+                reason = "buffer_headroom" if lossless else "buffer_shared"
+                buf.record_drop(size, prio, reason)
                 self.drops += 1
+                aud = self.audit
+                if aud.enabled:
+                    aud.packet_dropped(reason, size)
                 PACKET_POOL.release(pkt)
                 return
         if lossless:
@@ -264,6 +280,16 @@ class Switch:
         delay = self._ingress_delay[in_idx]
 
         def send(paused: bool) -> None:
+            aud = self.audit
+            if aud.enabled:
+                aud.pfc_signal(
+                    self.sim.now,
+                    self.name,
+                    upstream.name if upstream is not None else None,
+                    in_idx,
+                    prio,
+                    paused,
+                )
             if self.pfc_listeners:
                 now = self.sim.now
                 for cb in self.pfc_listeners:

@@ -45,8 +45,9 @@ _JSONL_FIELDS: Dict[str, Tuple[str, ...]] = {
     "queue": ("t", "port", "queue", "queue_bytes", "total_bytes"),
     "link": ("t", "port", "busy"),
     "buffer": ("t", "switch", "shared_used", "headroom_used"),
-    "drop": ("t", "switch", "size", "priority"),
+    "drop": ("t", "switch", "size", "priority", "reason"),
     "fault": ("t", "kind", "target", "phase"),
+    "audit": ("t", "invariant", "message"),
 }
 
 
@@ -203,9 +204,21 @@ def to_perfetto(recorder: Recorder) -> dict:
     # --- buffer occupancy counters + drop instants --------------------------
     for t, sw, shared, headroom in recorder.events["buffer"]:
         tb.counter(t, _BUFFERS_PID, f"{sw} buffer", {"shared": shared, "headroom": headroom})
-    for t, sw, size, prio in recorder.events["drop"]:
+    for t, sw, size, prio, reason in recorder.events["drop"]:
         tid = tb.tid_for(_BUFFERS_PID, sw, sw)
-        tb.instant(t, _BUFFERS_PID, tid, "drop", "drop", {"size": size, "priority": prio})
+        tb.instant(
+            t,
+            _BUFFERS_PID,
+            tid,
+            "drop",
+            "drop",
+            {"size": size, "priority": prio, "reason": reason},
+        )
+
+    # --- audit violations: instants on the buffers process ------------------
+    for t, invariant, message in recorder.events["audit"]:
+        tid = tb.tid_for(_BUFFERS_PID, "__audit__", "audit")
+        tb.instant(t, _BUFFERS_PID, tid, invariant, "audit", {"message": message})
 
     # --- fault windows: inject..clear spans, reconverge instants ------------
     fault_open: Dict[Tuple[str, str], bool] = {}

@@ -31,9 +31,11 @@ pfc        ``(t, switch, in_idx, prio, paused, backlog_bytes)``
 queue      ``(t, port, queue, queue_bytes, total_bytes)`` — on change
 link       ``(t, port, busy)`` — egress transmit busy/idle transitions
 buffer     ``(t, switch, shared_used, headroom_used)`` — on change
-drop       ``(t, switch, size, priority)`` — shared-buffer tail drop
+drop       ``(t, switch, size, priority, reason)`` — shared-buffer tail drop
 fault      ``(t, kind, target, phase)`` — fault-injection lifecycle
            (phase: ``inject`` / ``clear`` / ``reconverge``, see repro.faults)
+audit      ``(t, invariant, message)`` — invariant violations (repro.audit,
+           warn mode; strict mode aborts at the first violation instead)
 ========== =============================================================
 """
 
@@ -66,6 +68,7 @@ CHANNELS: Tuple[str, ...] = (
     "buffer",
     "drop",
     "fault",
+    "audit",
 )
 
 
@@ -243,14 +246,29 @@ class Recorder:
             self.events["fault"].append((t, kind, target, phase))
         self.metrics.counter(f"faults.{phase}").inc()
 
-    def buffer_drop(self, t: int, switch: str, size: int, priority: int) -> None:
+    def buffer_drop(
+        self, t: int, switch: str, size: int, priority: int, reason: str = "buffer_shared"
+    ) -> None:
+        """One rejected packet; ``reason`` matches the audit ledger's taxonomy
+        (``buffer_shared`` / ``buffer_headroom`` / ``switch_dead`` /
+        ``blackhole``)."""
         if "drop" not in self.channels:
             return
         self._note(t)
         if self.keep_events:
-            self.events["drop"].append((t, switch, size, priority))
+            self.events["drop"].append((t, switch, size, priority, reason))
         self._c_drop.inc()
         self._c_drop_bytes.inc(size)
+        self.metrics.counter(f"buffer.drops.{reason}").inc()
+
+    def audit_violation(self, t: int, invariant: str, message: str) -> None:
+        """One invariant violation surfaced by :mod:`repro.audit` (warn mode)."""
+        if "audit" not in self.channels:
+            return
+        self._note(t)
+        if self.keep_events:
+            self.events["audit"].append((t, invariant, message))
+        self.metrics.counter(f"audit.{invariant}").inc()
 
     # ------------------------------------------------------------------
     # reporting

@@ -56,6 +56,7 @@ class FlowSender:
         self.noise = noise
         self.on_done = on_done
         self.telemetry = getattr(sim, "telemetry", NULL_RECORDER)
+        self.audit = sim.audit
 
         self.n_packets = (flow.size_bytes + mtu - 1) // mtu
         self._last_payload = flow.size_bytes - (self.n_packets - 1) * mtu
@@ -237,6 +238,9 @@ class FlowSender:
             if tel.enabled:
                 tel.probe(self.sim.now, self.flow.flow_id, "ack")
                 tel.cwnd_update(self.sim.now, self.flow.flow_id, self.cc.cwnd, delay)
+            aud = self.audit
+            if aud.enabled:
+                aud.sender_event(self.sim.now, self)
             return
 
         seq = pkt.seq
@@ -263,6 +267,9 @@ class FlowSender:
             return
         self._arm_rto()
         self.try_send()
+        aud = self.audit
+        if aud.enabled:
+            aud.sender_event(self.sim.now, self)
 
     def _fast_retx_check(self, pkt: Packet) -> None:
         cum = pkt.ack_seq
@@ -298,7 +305,15 @@ class FlowSender:
             self._rto_ev = self.sim.after(self.rto_ns, self._on_rto)
 
     def _disarm_rto_if_idle(self) -> None:
-        if self.inflight_bytes == 0 and not self.probe_outstanding and self._rto_ev is not None:
+        # a queued retransmit with zero inflight still needs the timer: with
+        # it disarmed the retx would sit until unrelated traffic kicked
+        # try_send, stalling the flow (see tests/test_audit.py)
+        if (
+            self.inflight_bytes == 0
+            and not self.probe_outstanding
+            and not self._retx_queue
+            and self._rto_ev is not None
+        ):
             self._rto_ev.cancel()
             self._rto_ev = None
 
@@ -343,6 +358,9 @@ class FlowSender:
                 self._send_seq_force(self._retx_scan)
                 self.try_send()
         self._arm_rto()
+        aud = self.audit
+        if aud.enabled:
+            aud.sender_event(self.sim.now, self)
 
     def _send_seq_force(self, seq: int) -> None:
         """Retransmit immediately, bypassing the window check."""

@@ -229,6 +229,25 @@ def run_battery() -> Dict[str, object]:
     return {name: json_safe(fn()) for name, fn in BATTERY}
 
 
+def run_battery_audited(mode: str = "strict") -> Tuple[Dict[str, object], Dict[str, dict]]:
+    """Run every scenario under a fresh :class:`repro.audit.Auditor`.
+
+    Returns ``(results, audit_reports)``.  The results must be byte-identical
+    to an unaudited run (the auditor must not feed back into the simulation);
+    ``tests/test_audit.py`` and the CI ``audit-smoke`` job pin both halves.
+    """
+    from repro.audit import audit_scope
+    from repro.runner.cache import json_safe
+
+    results: Dict[str, object] = {}
+    reports: Dict[str, dict] = {}
+    for name, fn in BATTERY:
+        with audit_scope(mode) as aud:
+            results[name] = json_safe(fn())
+        reports[name] = aud.report.to_dict()
+    return results, reports
+
+
 def canonical(results: Dict[str, object]) -> str:
     return json.dumps(results, sort_keys=True, indent=1)
 
@@ -238,7 +257,35 @@ def main() -> int:
 
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--write", action="store_true", help="write tests/golden/core_results.json")
+    parser.add_argument(
+        "--audit",
+        nargs="?",
+        const="strict",
+        choices=("strict", "warn"),
+        default=None,
+        help="run under the invariant auditor; fails on any violation and on "
+        "any divergence from the committed goldens (proves audit-on is "
+        "byte-identical)",
+    )
     args = parser.parse_args()
+    if args.audit:
+        results, reports = run_battery_audited(args.audit)
+        text = canonical(results)
+        bad = {name: rep for name, rep in reports.items() if rep["violation_count"]}
+        if bad:
+            print(json.dumps(bad, indent=1))
+            print(f"AUDIT FAILED: violations in {sorted(bad)}")
+            return 1
+        with open(GOLDEN_PATH, encoding="utf-8") as fh:
+            golden = fh.read().rstrip("\n")
+        if text != golden:
+            print("AUDIT FAILED: audited results diverge from committed goldens "
+                  "(the auditor fed back into the simulation)")
+            return 1
+        checks = sum(sum(rep["checks"].values()) for rep in reports.values())
+        print(f"audit OK: {len(results)} scenarios, {checks} checks, 0 violations, "
+              f"results byte-identical to goldens")
+        return 0
     results = run_battery()
     text = canonical(results)
     if args.write:
