@@ -43,9 +43,25 @@ import sys
 from typing import Callable, Dict
 
 from .experiments.common import REGISTRY
+from .obs import (
+    ChannelInspector,
+    EngineProfiler,
+    PacketTracer,
+    TimeSeriesSampler,
+    set_default_inspector,
+    set_default_profiler,
+    set_default_sampler,
+    set_default_tracer,
+)
 from .runner import RunnerError, run_bench, run_experiment, write_bench
 from .runner.cache import json_safe
-from .telemetry import Recorder, set_default_recorder, write_events_jsonl, write_perfetto
+from .telemetry import (
+    JsonlEventStream,
+    Recorder,
+    set_default_recorder,
+    write_events_jsonl,
+    write_perfetto,
+)
 
 REGISTRY.load_all()
 
@@ -113,6 +129,10 @@ def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "bench":
         return _bench_main(argv[1:])
+    if argv and argv[0] == "report":
+        from .obs.report import report_main
+
+        return report_main(argv[1:])
     if argv and argv[0] == "run":
         # `run` is an optional explicit subcommand: `repro run fig8 --jobs 4`
         argv = argv[1:]
@@ -180,6 +200,45 @@ def main(argv=None) -> int:
         action="store_true",
         help="record the run and embed the telemetry metrics snapshot in the output",
     )
+    parser.add_argument(
+        "--trace-packets",
+        metavar="PATH",
+        help="causally trace deterministically-sampled packets and write the "
+        "per-hop latency spans as JSONL to PATH (see docs/TRACING.md); with "
+        "--trace, the Perfetto file also gains a 'packets' process",
+    )
+    parser.add_argument(
+        "--trace-every",
+        type=int,
+        default=16,
+        metavar="N",
+        help="trace one in N (flow, seq) identities (default: 16; 1 = all)",
+    )
+    parser.add_argument(
+        "--sample",
+        metavar="PATH",
+        help="snapshot queue depths, buffer occupancy and per-flow rates at a "
+        "fixed virtual-time stride; written to PATH (.csv, else JSONL)",
+    )
+    parser.add_argument(
+        "--sample-stride",
+        type=int,
+        default=100_000,
+        metavar="NS",
+        help="sampling stride in virtual ns (default: 100000)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="attribute wall time and event counts per engine callback and "
+        "embed the profile in the output",
+    )
+    parser.add_argument(
+        "--inspect",
+        metavar="PATH",
+        help="record every PrioPlus state transition, channel occupancy and "
+        "virtual-priority inversions; structured report written to PATH",
+    )
     args = parser.parse_args(argv)
 
     if args.list or not args.experiment:
@@ -194,19 +253,37 @@ def main(argv=None) -> int:
     if args.quick:
         experiment = experiment.quick()
 
-    if (args.trace or args.events) and args.jobs > 1:
+    obs_requested = bool(args.trace_packets or args.sample or args.profile or args.inspect)
+    if (args.trace or args.events or obs_requested) and args.jobs > 1:
         print(
-            "note: --trace/--events record simulator events only for in-process "
-            "execution; forcing --jobs 1",
+            "note: --trace/--events/--trace-packets/--sample/--profile/--inspect "
+            "record simulator state only for in-process execution; forcing --jobs 1",
             file=sys.stderr,
         )
         args.jobs = 1
 
     recorder = None
+    stream = None
     if args.trace or args.events or args.metrics:
         # event lists are only needed when a trace/event dump was requested
         recorder = Recorder(events=bool(args.trace or args.events))
         set_default_recorder(recorder)
+        if args.events and not args.trace:
+            # no in-memory consumer: stream events to disk as they happen
+            stream = JsonlEventStream(recorder, args.events)
+    tracer = inspector = sampler = profiler = None
+    if args.trace_packets:
+        tracer = PacketTracer(sample_every=max(1, args.trace_every))
+        set_default_tracer(tracer)
+    if args.inspect:
+        inspector = ChannelInspector()
+        set_default_inspector(inspector)
+    if args.sample:
+        sampler = TimeSeriesSampler(stride_ns=max(1, args.sample_stride))
+        set_default_sampler(sampler)
+    if args.profile:
+        profiler = EngineProfiler()
+        set_default_profiler(profiler)
     try:
         result = run_experiment(
             experiment,
@@ -222,16 +299,47 @@ def main(argv=None) -> int:
     finally:
         if recorder is not None:
             set_default_recorder(None)
+        if stream is not None:
+            stream.finalize()
+        if tracer is not None:
+            set_default_tracer(None)
+            tracer.finalize()
+        if inspector is not None:
+            set_default_inspector(None)
+        if sampler is not None:
+            set_default_sampler(None)
+            sampler.finalize()
+        if profiler is not None:
+            set_default_profiler(None)
+            profiler.finalize()
     if recorder is not None:
         if args.trace:
-            n = write_perfetto(recorder, args.trace)
+            n = write_perfetto(recorder, args.trace, tracer=tracer)
             print(f"wrote {n} trace events to {args.trace}", file=sys.stderr)
         if args.events:
-            n = write_events_jsonl(recorder, args.events)
+            if stream is not None:
+                n = stream.lines
+            else:
+                n = write_events_jsonl(recorder, args.events)
             print(f"wrote {n} events to {args.events}", file=sys.stderr)
         if args.metrics and isinstance(result, dict) and "telemetry" not in result:
             result = dict(result)
             result["telemetry"] = recorder.snapshot()
+    if tracer is not None:
+        n = tracer.write_spans_jsonl(args.trace_packets)
+        print(f"wrote {n} span lines to {args.trace_packets}", file=sys.stderr)
+        if isinstance(result, dict) and "packet_traces" not in result:
+            result = dict(result)
+            result["packet_traces"] = tracer.snapshot()
+    if inspector is not None:
+        inspector.write_report_json(args.inspect)
+        print(f"wrote channel report to {args.inspect}", file=sys.stderr)
+    if sampler is not None:
+        n = sampler.write(args.sample)
+        print(f"wrote {n} sample rows to {args.sample}", file=sys.stderr)
+    if profiler is not None and isinstance(result, dict) and "profile" not in result:
+        result = dict(result)
+        result["profile"] = profiler.snapshot()
     print(json.dumps(json_safe(result), indent=2))
     return 0
 

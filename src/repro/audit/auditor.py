@@ -485,7 +485,7 @@ class Auditor:
             )
 
     # ------------------------------------------------------------------
-    # (5) clock monotonicity (called from Simulator._run_audited)
+    # (5) clock monotonicity (called from Simulator._run_instrumented)
     # ------------------------------------------------------------------
     def clock_violation(self, event_time: int, now: int) -> None:
         self.violation(
@@ -618,7 +618,9 @@ class Auditor:
                     continue
                 for r, n in switch.buffer.stats.dropped_by_reason.items():
                     stats_by_reason[r] = stats_by_reason.get(r, 0) + n
-            for r in set(stats_by_reason) | set(self.dropped):
+            # sorted: set-union iteration order varies with string-hash
+            # randomization, which made violation order differ run to run
+            for r in sorted(set(stats_by_reason) | set(self.dropped)):
                 if r == "link_cut":
                     continue
                 self._count("drop_accounting")

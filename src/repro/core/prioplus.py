@@ -30,6 +30,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..audit.auditor import NULL_AUDITOR
+from ..obs.inspector import NULL_INSPECTOR
 from ..telemetry.recorder import NULL_RECORDER
 from ..transport.flow import AckInfo
 from .channels import ChannelConfig
@@ -110,6 +111,7 @@ class PrioPlusCC:
         self.adaptive_increases = 0
         self._tel = NULL_RECORDER
         self._aud = NULL_AUDITOR
+        self._insp = NULL_INSPECTOR
 
     # ------------------------------------------------------------------
     # window delegation: the sender reads PrioPlusCC.cwnd
@@ -152,6 +154,18 @@ class PrioPlusCC:
         self.inner.set_target_scaling(False)
         self._set_inner_target(self.d_target)
         self.w_ai_origin = self.inner.ai_bytes
+        insp = getattr(sender.sim, "inspector", NULL_INSPECTOR)
+        self._insp = insp
+        if insp.enabled:
+            flow = sender.flow
+            insp.register_flow(
+                flow.flow_id,
+                self.vpriority,
+                self.d_target,
+                self.d_limit,
+                self.tier,
+                [p.name for p in sender.net.path_ports(flow.src, flow.dst)],
+            )
 
     def _set_inner_target(self, target_ns: int) -> None:
         self.inner.target_delay_ns = target_ns
@@ -165,15 +179,20 @@ class PrioPlusCC:
     def on_start(self) -> None:
         self.countdown = self._countdown_reset_value()
         tel = self._tel
+        insp = self._insp
         if self.probe_first:
             if tel.enabled:
                 tel.flow_state(self.sender.sim.now, self.sender.flow.flow_id, "probe_wait")
+            if insp.enabled:
+                insp.transition(self.sender.sim.now, self.sender.flow.flow_id, "probe_wait")
             self.sender.stop_sending()
             self.sender.send_probe_after(0)
         else:
             # linear start from W_LS without probing (§4.4)
             if tel.enabled:
                 tel.flow_state(self.sender.sim.now, self.sender.flow.flow_id, "linear_start")
+            if insp.enabled:
+                insp.transition(self.sender.sim.now, self.sender.flow.flow_id, "linear_start")
             self.inner.cwnd = max(self.w_ls, self.inner.min_cwnd)
             self.inner.clamp()
 
@@ -214,6 +233,9 @@ class PrioPlusCC:
                 tel = self._tel
                 if tel.enabled:
                     tel.cc_event(info.now, self.sender.flow.flow_id, "linear_start_step")
+                insp = self._insp
+                if insp.enabled:
+                    insp.cc_event(info.now, self.sender.flow.flow_id, "linear_start_step")
                 self._countdown_tick()
                 self.rtt_pass = False
             elif self.dual_rtt_pass or not self.dual_rtt:
@@ -228,6 +250,9 @@ class PrioPlusCC:
                     tel = self._tel
                     if tel.enabled:
                         tel.cc_event(info.now, self.sender.flow.flow_id, "adaptive_increase")
+                    insp = self._insp
+                    if insp.enabled:
+                        insp.cc_event(info.now, self.sender.flow.flow_id, "adaptive_increase")
                 self.rtt_pass = False
         self.inner.on_ack(info)
 
@@ -255,6 +280,9 @@ class PrioPlusCC:
         tel = self._tel
         if tel.enabled:
             tel.flow_state(self.sender.sim.now, self.sender.flow.flow_id, "relinquished")
+        insp = self._insp
+        if insp.enabled:
+            insp.transition(self.sender.sim.now, self.sender.flow.flow_id, "relinquished")
         self.sender.stop_sending()
         self._schedule_probe(delay)
         aud = self._aud
@@ -276,13 +304,18 @@ class PrioPlusCC:
     # ------------------------------------------------------------------
     def on_probe_ack(self, info: AckInfo) -> None:
         delay = info.delay_ns
+        insp = self._insp
         if delay >= self.d_limit:
+            if insp.enabled:
+                insp.cc_event(info.now, self.sender.flow.flow_id, "probe_rejected")
             self._schedule_probe(delay)
             return
         tel = self._tel
         if delay <= self.base_rtt + self.empty_eps:
             if tel.enabled:
                 tel.flow_state(info.now, self.sender.flow.flow_id, "linear_start")
+            if insp.enabled:
+                insp.transition(info.now, self.sender.flow.flow_id, "linear_start")
             self.inner.cwnd = max(self.w_ls / self.nflow, self.inner.min_cwnd)
             self._countdown_tick()
         else:
@@ -290,6 +323,8 @@ class PrioPlusCC:
             # adaptive increase will take over within a couple of RTTs (§4.4)
             if tel.enabled:
                 tel.flow_state(info.now, self.sender.flow.flow_id, "cautious_restart")
+            if insp.enabled:
+                insp.transition(info.now, self.sender.flow.flow_id, "cautious_restart")
             self.inner.cwnd = float(self.inner.mtu)
         self.inner.clamp()
         self.consec = 0

@@ -1,0 +1,90 @@
+"""Introspection layer: packet tracing, channel inspection, sampling, profiling.
+
+Four independent subsystems, each following the Recorder/Auditor contract —
+process-global default, snapshot-at-construction adoption, zero overhead when
+off, and no feedback into simulation results:
+
+* :mod:`repro.obs.tracer` — causal packet tracing with per-hop latency
+  breakdown (queueing vs PFC pause vs serialization vs propagation),
+* :mod:`repro.obs.inspector` — PrioPlus state-machine transcript, channel
+  occupancy and virtual-priority-inversion detection,
+* :mod:`repro.obs.sampler` — fixed-stride time series of queue depths,
+  buffer occupancy and per-flow rates into bounded ring buffers,
+* :mod:`repro.obs.profiler` — wall-time/event-count attribution per engine
+  callback.
+
+``repro.obs.report`` aggregates runner results, samples and traces into a
+static HTML dashboard (``python -m repro report``).
+"""
+
+from .inspector import (
+    ChannelInspector,
+    NULL_INSPECTOR,
+    NullInspector,
+    current_inspector,
+    default_inspector,
+    inspect_scope,
+    set_default_inspector,
+)
+from .profiler import (
+    EngineProfiler,
+    NULL_PROFILER,
+    NullProfiler,
+    current_profiler,
+    default_profiler,
+    profile_scope,
+    set_default_profiler,
+)
+from .sampler import (
+    NULL_SAMPLER,
+    NullSampler,
+    TimeSeriesSampler,
+    current_sampler,
+    default_sampler,
+    sample_scope,
+    set_default_sampler,
+)
+from .tracer import (
+    HopRecord,
+    NULL_TRACER,
+    NullTracer,
+    PacketTrace,
+    PacketTracer,
+    current_tracer,
+    default_tracer,
+    set_default_tracer,
+    trace_scope,
+)
+
+__all__ = [
+    "ChannelInspector",
+    "EngineProfiler",
+    "HopRecord",
+    "NULL_INSPECTOR",
+    "NULL_PROFILER",
+    "NULL_SAMPLER",
+    "NULL_TRACER",
+    "NullInspector",
+    "NullProfiler",
+    "NullSampler",
+    "NullTracer",
+    "PacketTrace",
+    "PacketTracer",
+    "TimeSeriesSampler",
+    "current_inspector",
+    "current_profiler",
+    "current_sampler",
+    "current_tracer",
+    "default_inspector",
+    "default_profiler",
+    "default_sampler",
+    "default_tracer",
+    "inspect_scope",
+    "profile_scope",
+    "sample_scope",
+    "set_default_inspector",
+    "set_default_profiler",
+    "set_default_sampler",
+    "set_default_tracer",
+    "trace_scope",
+]

@@ -1,0 +1,282 @@
+"""PrioPlus channel inspector: state-machine transcript + inversion detector.
+
+The inspector answers "*why* did this flow land where it did": it records
+every per-flow PrioPlus state-machine transition (``probe_wait``,
+``linear_start``, ``cautious_restart``, ``relinquished``, plus the sender's
+``running``/``done`` lifecycle), every per-RTT CC decision
+(``linear_start_step``, ``adaptive_increase``, probe retries), and bins acked
+bytes into fixed windows so the report can reconstruct channel occupancy over
+time and flag **virtual-priority inversions** — a window in which a
+lower-channel flow moved more bytes than a higher-channel flow that was
+actively sending on a shared bottleneck.
+
+Same contract as the Recorder/Auditor/PacketTracer: hook sites are one
+attribute read plus one flag check, and the inspector never schedules events
+or draws from the simulation RNG, so enabling it leaves results
+byte-identical (golden battery ``--obs inspect``).
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "ChannelInspector",
+    "NULL_INSPECTOR",
+    "NullInspector",
+    "current_inspector",
+    "default_inspector",
+    "inspect_scope",
+    "set_default_inspector",
+]
+
+#: states in which a flow is actively pushing data into its channel
+ACTIVE_STATES = frozenset(("running", "linear_start", "cautious_restart"))
+
+
+class _FlowRecord:
+    """Everything the inspector knows about one registered flow."""
+
+    __slots__ = ("flow_id", "vpriority", "d_target_ns", "d_limit_ns", "tier",
+                 "path_ports", "transitions", "cc_counts", "probes")
+
+    def __init__(self, flow_id: int, vpriority: int, d_target_ns: int,
+                 d_limit_ns: int, tier: str, path_ports: Tuple[str, ...]):
+        self.flow_id = flow_id
+        self.vpriority = vpriority
+        self.d_target_ns = d_target_ns
+        self.d_limit_ns = d_limit_ns
+        self.tier = tier
+        self.path_ports = path_ports
+        self.transitions: List[Tuple[int, str]] = []
+        self.cc_counts: Dict[str, int] = {}
+        self.probes: Dict[str, int] = {}
+
+    def state_at(self, t: int) -> Optional[str]:
+        """Flow state in effect at time ``t`` (last transition at or before)."""
+        state = None
+        for when, s in self.transitions:
+            if when > t:
+                break
+            state = s
+        return state
+
+
+class NullInspector:
+    """Inert stand-in installed by default; hook sites only read ``enabled``."""
+
+    enabled = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<NullInspector>"
+
+
+#: the process-wide disabled inspector (safe to share: it holds no state)
+NULL_INSPECTOR = NullInspector()
+
+
+class ChannelInspector:
+    """Records PrioPlus channel behaviour for a structured post-run report.
+
+    Parameters
+    ----------
+    window_ns:
+        Width of the fixed windows acked bytes are binned into; occupancy and
+        the inversion detector both operate at this granularity.
+    """
+
+    enabled = True
+
+    def __init__(self, window_ns: int = 100_000):
+        if window_ns < 1:
+            raise ValueError(f"window_ns must be >= 1, got {window_ns}")
+        self.window_ns = window_ns
+        self.flows: Dict[int, _FlowRecord] = {}
+        #: global transition log in simulation order: (t, flow_id, state)
+        self.transitions: List[Tuple[int, int, str]] = []
+        #: global CC-event log in simulation order: (t, flow_id, kind)
+        self.cc_events: List[Tuple[int, int, str]] = []
+        #: (flow_id, window_index) -> acked bytes in that window
+        self._bins: Dict[Tuple[int, int], int] = {}
+        self.max_ts = 0
+
+    # ------------------------------------------------------------------
+    # hooks (called from PrioPlusCC / FlowSender when enabled)
+    # ------------------------------------------------------------------
+    def register_flow(self, flow_id: int, vpriority: int, d_target_ns: int,
+                      d_limit_ns: int, tier: str, path_ports) -> None:
+        self.flows[flow_id] = _FlowRecord(
+            flow_id, vpriority, d_target_ns, d_limit_ns, tier, tuple(path_ports)
+        )
+
+    def _flow(self, flow_id: int) -> _FlowRecord:
+        rec = self.flows.get(flow_id)
+        if rec is None:
+            # flows outside PrioPlus (or registered late) still get a record
+            rec = self.flows[flow_id] = _FlowRecord(flow_id, 0, 0, 0, "", ())
+        return rec
+
+    def transition(self, t: int, flow_id: int, state: str) -> None:
+        if t > self.max_ts:
+            self.max_ts = t
+        self._flow(flow_id).transitions.append((t, state))
+        self.transitions.append((t, flow_id, state))
+
+    def cc_event(self, t: int, flow_id: int, kind: str) -> None:
+        if t > self.max_ts:
+            self.max_ts = t
+        counts = self._flow(flow_id).cc_counts
+        counts[kind] = counts.get(kind, 0) + 1
+        self.cc_events.append((t, flow_id, kind))
+
+    def probe(self, t: int, flow_id: int, kind: str) -> None:
+        """``kind`` is ``"send"`` or ``"ack"`` (mirrors the telemetry channel)."""
+        if t > self.max_ts:
+            self.max_ts = t
+        probes = self._flow(flow_id).probes
+        probes[kind] = probes.get(kind, 0) + 1
+
+    def ack(self, t: int, flow_id: int, acked_bytes: int) -> None:
+        if not acked_bytes:
+            return
+        if t > self.max_ts:
+            self.max_ts = t
+        key = (flow_id, t // self.window_ns)
+        self._bins[key] = self._bins.get(key, 0) + acked_bytes
+
+    # ------------------------------------------------------------------
+    # analysis
+    # ------------------------------------------------------------------
+    def occupancy(self) -> Dict[int, List[Tuple[int, int]]]:
+        """Per virtual priority: ``[(t, active_flow_count), ...]`` steps.
+
+        A flow occupies its channel while in an :data:`ACTIVE_STATES` state;
+        ``probe_wait``/``relinquished``/``done`` vacate it.
+        """
+        deltas: Dict[int, Dict[int, int]] = {}
+        for rec in self.flows.values():
+            active = False
+            for t, state in rec.transitions:
+                now_active = state in ACTIVE_STATES
+                if now_active == active:
+                    continue
+                active = now_active
+                vp = deltas.setdefault(rec.vpriority, {})
+                vp[t] = vp.get(t, 0) + (1 if now_active else -1)
+        series: Dict[int, List[Tuple[int, int]]] = {}
+        for vprio in sorted(deltas):
+            count = 0
+            steps = []
+            for t in sorted(deltas[vprio]):
+                count += deltas[vprio][t]
+                steps.append((t, count))
+            series[vprio] = steps
+        return series
+
+    def inversions(self) -> List[dict]:
+        """Windows where a low-channel flow outpaced an active high-channel
+        flow on a shared bottleneck (sorted by window, then flow ids)."""
+        windows = sorted({w for (_fid, w) in self._bins})
+        flows = sorted(self.flows.values(), key=lambda r: r.flow_id)
+        found: List[dict] = []
+        for w in windows:
+            t0 = w * self.window_ns
+            t1 = t0 + self.window_ns
+            for hi in flows:
+                if not hi.path_ports:
+                    continue
+                # the high flow must want bandwidth for the whole window
+                if hi.state_at(t0) not in ACTIVE_STATES:
+                    continue
+                if hi.state_at(t1) not in ACTIVE_STATES:
+                    continue
+                hi_bytes = self._bins.get((hi.flow_id, w), 0)
+                for lo in flows:
+                    if lo.vpriority >= hi.vpriority or not lo.path_ports:
+                        continue
+                    if not set(lo.path_ports) & set(hi.path_ports):
+                        continue
+                    lo_bytes = self._bins.get((lo.flow_id, w), 0)
+                    if lo_bytes > hi_bytes:
+                        found.append({
+                            "window_t_ns": t0,
+                            "low_flow": lo.flow_id,
+                            "low_vpriority": lo.vpriority,
+                            "low_bytes": lo_bytes,
+                            "high_flow": hi.flow_id,
+                            "high_vpriority": hi.vpriority,
+                            "high_bytes": hi_bytes,
+                            "high_state": hi.state_at(t0),
+                        })
+        return found
+
+    def report(self) -> dict:
+        """Structured, JSON-safe report of everything observed."""
+        flows = {}
+        for fid in sorted(self.flows):
+            rec = self.flows[fid]
+            flows[str(fid)] = {
+                "vpriority": rec.vpriority,
+                "tier": rec.tier,
+                "d_target_ns": rec.d_target_ns,
+                "d_limit_ns": rec.d_limit_ns,
+                "path_ports": list(rec.path_ports),
+                "transitions": [[t, s] for t, s in rec.transitions],
+                "cc_events": dict(sorted(rec.cc_counts.items())),
+                "probes": dict(sorted(rec.probes.items())),
+                "relinquishes": sum(1 for _, s in rec.transitions if s == "relinquished"),
+            }
+        occupancy = {
+            str(vprio): [[t, n] for t, n in steps]
+            for vprio, steps in self.occupancy().items()
+        }
+        return {
+            "window_ns": self.window_ns,
+            "flows": flows,
+            "occupancy": occupancy,
+            "inversions": self.inversions(),
+            "transition_count": len(self.transitions),
+            "max_ts": self.max_ts,
+        }
+
+    def write_report_json(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.report(), fh, indent=1, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# process-wide default inspector, adopted by every new Simulator
+# ----------------------------------------------------------------------
+_default: object = NULL_INSPECTOR
+
+
+def set_default_inspector(inspector) -> None:
+    """Install ``inspector`` as the default every new :class:`Simulator`
+    adopts.  Pass ``None`` to restore the inert :data:`NULL_INSPECTOR`.
+    Install *before* building simulators/topologies."""
+    global _default
+    _default = inspector if inspector is not None else NULL_INSPECTOR
+
+
+def default_inspector():
+    """The inspector new simulators adopt (the null one when disabled)."""
+    return _default
+
+
+def current_inspector() -> Optional[ChannelInspector]:
+    """The active default :class:`ChannelInspector`, or ``None`` when off."""
+    return _default if getattr(_default, "enabled", False) else None
+
+
+@contextmanager
+def inspect_scope(window_ns: int = 100_000, **kwargs):
+    """Install a fresh :class:`ChannelInspector` for the ``with`` block."""
+    prev = _default if _default is not NULL_INSPECTOR else None
+    insp = ChannelInspector(window_ns=window_ns, **kwargs)
+    set_default_inspector(insp)
+    try:
+        yield insp
+    finally:
+        set_default_inspector(prev)

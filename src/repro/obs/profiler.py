@@ -1,0 +1,126 @@
+"""Engine self-profiler: wall-time and event counts per callback.
+
+When enabled, the instrumented engine loop wraps every event dispatch in a
+``perf_counter()`` pair and attributes the elapsed wall time to the
+callback's qualified name (``Port._tx_done``, ``FlowSender._send_seq``, ...).
+The result is a cheap flat profile of where a run's real time goes —
+answering "which event type dominates?" without an external profiler.
+
+Wall-clock measurements obviously differ run to run, but the profiler never
+touches virtual time, the event queue, or the RNG, so simulation *results*
+stay byte-identical (golden battery ``--obs profile``).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, List, Optional
+
+__all__ = [
+    "EngineProfiler",
+    "NULL_PROFILER",
+    "NullProfiler",
+    "current_profiler",
+    "default_profiler",
+    "profile_scope",
+    "set_default_profiler",
+]
+
+
+class NullProfiler:
+    """Inert stand-in installed by default; hook sites only read ``enabled``."""
+
+    enabled = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<NullProfiler>"
+
+
+#: the process-wide disabled profiler (safe to share: it holds no state)
+NULL_PROFILER = NullProfiler()
+
+
+class EngineProfiler:
+    """Accumulates per-callback event counts and wall time."""
+
+    enabled = True
+
+    def __init__(self):
+        #: qualname -> [count, total_seconds]
+        self.stats: Dict[str, List[float]] = {}
+        self.events = 0
+        self.wall_s = 0.0
+        self.finalized = False
+
+    def record(self, fn, dt: float) -> None:
+        """Attribute one dispatched event taking ``dt`` seconds to ``fn``."""
+        name = getattr(fn, "__qualname__", None) or repr(fn)
+        cell = self.stats.get(name)
+        if cell is None:
+            cell = self.stats[name] = [0, 0.0]
+        cell[0] += 1
+        cell[1] += dt
+        self.events += 1
+        self.wall_s += dt
+
+    def finalize(self) -> None:
+        """Idempotent; exists for symmetry with the other obs subsystems."""
+        self.finalized = True
+
+    def snapshot(self) -> dict:
+        """JSON-safe profile, callbacks sorted by name for stable diffs."""
+        callbacks = {}
+        for name in sorted(self.stats):
+            count, total = self.stats[name]
+            callbacks[name] = {
+                "count": count,
+                "wall_s": total,
+                "mean_us": (total / count * 1e6) if count else 0.0,
+            }
+        return {
+            "callbacks": callbacks,
+            "events": self.events,
+            "wall_s": self.wall_s,
+        }
+
+    def top(self, n: int = 10) -> List[tuple]:
+        """``[(name, count, wall_s), ...]`` sorted by wall time descending."""
+        ranked = sorted(self.stats.items(), key=lambda kv: (-kv[1][1], kv[0]))
+        return [(name, int(c), t) for name, (c, t) in ranked[:n]]
+
+
+# ----------------------------------------------------------------------
+# process-wide default profiler, adopted by every new Simulator
+# ----------------------------------------------------------------------
+_default: object = NULL_PROFILER
+
+
+def set_default_profiler(profiler) -> None:
+    """Install ``profiler`` as the default every new :class:`Simulator`
+    adopts.  Pass ``None`` to restore the inert :data:`NULL_PROFILER`.
+    Install *before* building simulators/topologies."""
+    global _default
+    _default = profiler if profiler is not None else NULL_PROFILER
+
+
+def default_profiler():
+    """The profiler new simulators adopt (the null one when disabled)."""
+    return _default
+
+
+def current_profiler() -> Optional[EngineProfiler]:
+    """The active default :class:`EngineProfiler`, or ``None`` when off."""
+    return _default if getattr(_default, "enabled", False) else None
+
+
+@contextmanager
+def profile_scope(**kwargs):
+    """Install a fresh :class:`EngineProfiler` for the ``with`` block."""
+    prev = _default if _default is not NULL_PROFILER else None
+    prof = EngineProfiler(**kwargs)
+    set_default_profiler(prof)
+    try:
+        yield prof
+    finally:
+        set_default_profiler(prev)
+        prof.finalize()

@@ -1,0 +1,278 @@
+"""Time-series sampler: fixed-stride snapshots into bounded ring buffers.
+
+A :class:`TimeSeriesSampler` takes periodic snapshots of simulation state —
+per-port queue depth/backlog, per-buffer occupancy, per-flow rate and delay
+estimates — at a fixed virtual-time stride, without scheduling a single
+simulator event.  The instrumented engine loop (see
+``Simulator._run_instrumented``) checks the sampler's next due time between
+events and snapshots exactly when virtual time crosses a stride boundary.
+Because the snapshot happens *between* events and the stride arithmetic is
+pure, sampling leaves results byte-identical (golden battery ``--obs
+sample``).
+
+Rows accumulate into fixed-capacity ring buffers (oldest rows are dropped
+and counted, so long runs can't exhaust memory) and export as CSV or JSONL.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from typing import Dict, List, Optional
+
+__all__ = [
+    "NULL_SAMPLER",
+    "NullSampler",
+    "TimeSeriesSampler",
+    "current_sampler",
+    "default_sampler",
+    "sample_scope",
+    "set_default_sampler",
+]
+
+
+class _Ring:
+    """Append-only bounded ring; keeps the most recent ``capacity`` rows."""
+
+    __slots__ = ("capacity", "rows", "dropped", "_start")
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self.rows: List[dict] = []
+        self.dropped = 0
+        self._start = 0  # logical index of rows[0] within the full series
+
+    def append(self, row: dict) -> None:
+        if len(self.rows) >= self.capacity:
+            self.rows.pop(0)
+            self.dropped += 1
+            self._start += 1
+        self.rows.append(row)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class NullSampler:
+    """Inert stand-in installed by default; hook sites only read ``enabled``."""
+
+    enabled = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<NullSampler>"
+
+
+#: the process-wide disabled sampler (safe to share: it holds no state)
+NULL_SAMPLER = NullSampler()
+
+
+class TimeSeriesSampler:
+    """Periodic state snapshots at a fixed virtual-time stride.
+
+    Parameters
+    ----------
+    stride_ns:
+        Virtual time between snapshots.  Each row is stamped at the stride
+        boundary it represents (``t - t % stride_ns``), so rows from repeated
+        runs line up exactly.
+    capacity:
+        Per-ring row budget (ports, buffers and flows each get their own
+        ring); the oldest rows are dropped (and counted) beyond it.
+    """
+
+    enabled = True
+
+    def __init__(self, stride_ns: int = 100_000, capacity: int = 4096):
+        if stride_ns < 1:
+            raise ValueError(f"stride_ns must be >= 1, got {stride_ns}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.stride_ns = stride_ns
+        self.capacity = capacity
+        self.ports = _Ring(capacity)
+        self.buffers = _Ring(capacity)
+        self.flows = _Ring(capacity)
+        self.samples_taken = 0
+        self._ports: List[object] = []
+        self._buffers: List[object] = []
+        self._senders: List[object] = []
+        #: last acked_payload per flow, for windowed goodput rates
+        self._last_acked: Dict[int, int] = {}
+        self._last_t: Optional[int] = None
+        self.finalized = False
+
+    # ------------------------------------------------------------------
+    # registration (components self-register at construction when enabled)
+    # ------------------------------------------------------------------
+    def register_sim(self, sim) -> None:  # symmetry with the auditor; no-op
+        pass
+
+    def register_port(self, port) -> None:
+        self._ports.append(port)
+
+    def register_buffer(self, buffer) -> None:
+        self._buffers.append(buffer)
+
+    def register_sender(self, sender) -> None:
+        self._senders.append(sender)
+
+    # ------------------------------------------------------------------
+    # sampling (driven by the instrumented engine loop)
+    # ------------------------------------------------------------------
+    def next_due(self, now: int) -> int:
+        """First stride boundary strictly after ``now``."""
+        return ((now // self.stride_ns) + 1) * self.stride_ns
+
+    def sample(self, time: int) -> int:
+        """Snapshot state as of stride boundary ``<= time``; returns the next
+        due boundary.  Multiple crossed boundaries coalesce into one row set
+        (queue state was constant across them — no events fired)."""
+        boundary = time - time % self.stride_ns
+        self.samples_taken += 1
+        for port in self._ports:
+            self.ports.append({
+                "t": boundary,
+                "port": port.name,
+                "queued_pkts": sum(len(q) for q in port.queues),
+                "backlog_bytes": port.total_bytes,
+                "busy": int(port.busy),
+                "paused_mask": sum(1 << p for p, v in enumerate(port.paused) if v),
+            })
+        for buf in self._buffers:
+            self.buffers.append({
+                "t": boundary,
+                "buffer": buf.name,
+                "shared_used": buf.shared_used,
+                "headroom_used": buf.headroom_used,
+            })
+        dt = None if self._last_t is None else boundary - self._last_t
+        for sender in self._senders:
+            fid = sender.flow.flow_id
+            acked = sender.acked_payload
+            prev = self._last_acked.get(fid, 0)
+            rate_bps = 0.0
+            if dt:
+                rate_bps = (acked - prev) * 8e9 / dt
+            self._last_acked[fid] = acked
+            cc = sender.cc
+            if sender.completed:
+                state = "done"
+            elif sender.stopped:
+                state = "stopped"
+            else:
+                state = "running"
+            self.flows.append({
+                "t": boundary,
+                "flow": fid,
+                "acked_bytes": acked,
+                "rate_bps": rate_bps,
+                "state": state,
+                "cwnd": getattr(cc, "cwnd", 0.0),
+                "delay_ns": sender.last_rtt,
+            })
+        self._last_t = boundary
+        return boundary + self.stride_ns
+
+    # ------------------------------------------------------------------
+    # reporting / export
+    # ------------------------------------------------------------------
+    def finalize(self) -> None:
+        """Idempotent; releases component references so rings own the data."""
+        if self.finalized:
+            return
+        self.finalized = True
+        self._ports = []
+        self._buffers = []
+        self._senders = []
+
+    def snapshot(self) -> dict:
+        """JSON-safe summary (embeddable in experiment result dicts)."""
+        return {
+            "buffer_rows": len(self.buffers),
+            "dropped_rows": self.ports.dropped + self.buffers.dropped + self.flows.dropped,
+            "flow_rows": len(self.flows),
+            "port_rows": len(self.ports),
+            "samples_taken": self.samples_taken,
+            "stride_ns": self.stride_ns,
+        }
+
+    def rows(self) -> List[dict]:
+        """All rows tagged with a ``kind`` column, ordered by time then kind."""
+        out = []
+        for kind, ring in (("buffer", self.buffers), ("flow", self.flows),
+                           ("port", self.ports)):
+            for row in ring.rows:
+                tagged = {"kind": kind}
+                tagged.update(row)
+                out.append(tagged)
+        out.sort(key=lambda r: (r["t"], r["kind"],
+                                str(r.get("port") or r.get("buffer") or r.get("flow"))))
+        return out
+
+    def write(self, path: str) -> int:
+        """Export all rows; format by extension (``.csv`` else JSONL).
+        Returns the number of rows written."""
+        rows = self.rows()
+        if path.endswith(".csv"):
+            return self._write_csv(path, rows)
+        with open(path, "w") as fh:
+            for row in rows:
+                fh.write(json.dumps(row, sort_keys=True))
+                fh.write("\n")
+            fh.flush()
+        return len(rows)
+
+    def _write_csv(self, path: str, rows: List[dict]) -> int:
+        cols: List[str] = ["kind", "t"]
+        seen = set(cols)
+        for row in rows:
+            for key in row:
+                if key not in seen:
+                    seen.add(key)
+                    cols.append(key)
+        with open(path, "w") as fh:
+            fh.write(",".join(cols))
+            fh.write("\n")
+            for row in rows:
+                fh.write(",".join("" if row.get(c) is None else str(row.get(c, ""))
+                                  for c in cols))
+                fh.write("\n")
+            fh.flush()
+        return len(rows)
+
+
+# ----------------------------------------------------------------------
+# process-wide default sampler, adopted by every new Simulator
+# ----------------------------------------------------------------------
+_default: object = NULL_SAMPLER
+
+
+def set_default_sampler(sampler) -> None:
+    """Install ``sampler`` as the default every new :class:`Simulator`
+    adopts.  Pass ``None`` to restore the inert :data:`NULL_SAMPLER`.
+    Install *before* building simulators/topologies."""
+    global _default
+    _default = sampler if sampler is not None else NULL_SAMPLER
+
+
+def default_sampler():
+    """The sampler new simulators adopt (the null one when disabled)."""
+    return _default
+
+
+def current_sampler() -> Optional[TimeSeriesSampler]:
+    """The active default :class:`TimeSeriesSampler`, or ``None`` when off."""
+    return _default if getattr(_default, "enabled", False) else None
+
+
+@contextmanager
+def sample_scope(stride_ns: int = 100_000, **kwargs):
+    """Install a fresh :class:`TimeSeriesSampler` for the ``with`` block."""
+    prev = _default if _default is not NULL_SAMPLER else None
+    smp = TimeSeriesSampler(stride_ns=stride_ns, **kwargs)
+    set_default_sampler(smp)
+    try:
+        yield smp
+    finally:
+        set_default_sampler(prev)
+        smp.finalize()

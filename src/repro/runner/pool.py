@@ -32,6 +32,12 @@ from typing import Callable, Dict, List, Optional, Union
 from ..audit import audit_scope
 from ..experiments.common import Experiment, Point
 from ..faults.plan import FaultPlan, current_fault_plan, set_default_fault_plan
+from ..obs import (
+    set_default_inspector,
+    set_default_profiler,
+    set_default_sampler,
+    set_default_tracer,
+)
 from ..telemetry import current_recorder, set_default_recorder
 from .cache import ResultCache, cache_key, json_safe
 
@@ -45,8 +51,13 @@ class RunnerError(RuntimeError):
 def _worker_init(faults_dict: Optional[dict] = None) -> None:
     # Workers never trace: the parent's recorder (inherited on fork) would
     # otherwise collect per-child data nobody can read back, and point
-    # runners that embed telemetry would poison the result cache.
+    # runners that embed telemetry would poison the result cache.  The same
+    # goes for every introspection default from repro.obs.
     set_default_recorder(None)
+    set_default_tracer(None)
+    set_default_inspector(None)
+    set_default_sampler(None)
+    set_default_profiler(None)
     # The fault plan crosses the process boundary as plain data (module-level
     # defaults do not survive a spawn start method) and is re-armed by each
     # point's Network.build_routes().
@@ -75,7 +86,10 @@ def _execute_point(exp: Experiment, point: Point, audit_mode: Optional[str] = No
             f"{exp.name}:{point.name}: run_point must return a dict, "
             f"got {type(result).__name__}"
         )
+    # per-process observability never belongs in a cached simulation result
     result.pop("telemetry", None)
+    result.pop("packet_traces", None)
+    result.pop("profile", None)
     if audit_mode is not None:
         result["audit"] = aud.report.to_dict()
     return result

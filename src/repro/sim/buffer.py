@@ -17,6 +17,7 @@ priorities — headroom is assumed to live outside the chip buffer.
 from __future__ import annotations
 
 from ..audit.auditor import default_auditor
+from ..obs.sampler import NULL_SAMPLER
 from ..telemetry.recorder import NULL_RECORDER
 
 __all__ = ["SharedBuffer", "BufferStats"]
@@ -99,6 +100,9 @@ class SharedBuffer:
         self.name = name
         self.telemetry = getattr(sim, "telemetry", NULL_RECORDER)
         self.audit = getattr(sim, "audit", self.audit)
+        smp = getattr(sim, "sampler", NULL_SAMPLER)
+        if smp.enabled:
+            smp.register_buffer(self)
 
     def _now(self) -> int:
         """Clock for emission sites; 0 while unbound (audit-only use)."""

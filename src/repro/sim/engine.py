@@ -25,9 +25,14 @@ from __future__ import annotations
 
 import heapq
 import random
+from time import perf_counter
 from typing import Any, Callable, List, Optional
 
 from ..audit.auditor import default_auditor
+from ..obs.inspector import default_inspector
+from ..obs.profiler import default_profiler
+from ..obs.sampler import default_sampler
+from ..obs.tracer import default_tracer
 from ..telemetry.recorder import default_recorder
 
 __all__ = ["Simulator", "EventHandle", "SECOND", "MILLISECOND", "MICROSECOND"]
@@ -104,6 +109,15 @@ class Simulator:
         self.audit = default_auditor()
         if self.audit.enabled:
             self.audit.register_sim(self)
+        #: introspection subsystems adopted at construction (see repro.obs);
+        #: each is the inert null singleton unless explicitly installed, and
+        #: none of them ever schedules events or touches the RNG
+        self.tracer = default_tracer()
+        self.inspector = default_inspector()
+        self.sampler = default_sampler()
+        self.profiler = default_profiler()
+        if self.sampler.enabled:
+            self.sampler.register_sim(self)
 
     # ------------------------------------------------------------------
     # scheduling
@@ -191,8 +205,8 @@ class Simulator:
         """Run events until the heap is empty, ``until`` is reached, or
         ``max_events`` have fired.  Returns the number of events processed.
         """
-        if self.audit.enabled:
-            return self._run_audited(until, max_events)
+        if self.audit.enabled or self.sampler.enabled or self.profiler.enabled:
+            return self._run_instrumented(until, max_events)
         heap = self._heap
         processed = 0
         exhausted = True  # no more events at or before `until`
@@ -255,15 +269,25 @@ class Simulator:
             tel.sim_events(self.now, processed)
         return processed
 
-    def _run_audited(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
-        """Audited twin of :meth:`run`.
+    def _run_instrumented(
+        self, until: Optional[int] = None, max_events: Optional[int] = None
+    ) -> int:
+        """Instrumented twin of :meth:`run` (audit, sampling, profiling).
 
-        Identical control flow plus a per-event clock-monotonicity check on
-        both heap entry shapes (the fused ``call_at``/``call_at2`` path and
-        the classic :class:`EventHandle` path).  Kept separate so the
-        audit-off hot loop above carries zero extra work.
+        Identical control flow plus, per enabled subsystem: a per-event
+        clock-monotonicity check on both heap entry shapes (auditor), a
+        stride-boundary state snapshot taken *between* events — before the
+        first event at or past the boundary, so it can never perturb event
+        order (sampler) — and a ``perf_counter`` pair around each dispatch
+        (profiler).  Kept separate so the all-off hot loop above carries
+        zero extra work.
         """
         aud = self.audit
+        aud_on = aud.enabled
+        smp = self.sampler
+        smp_on = smp.enabled
+        prof = self.profiler
+        prof_on = prof.enabled
         heap = self._heap
         processed = 0
         exhausted = True
@@ -271,6 +295,8 @@ class Simulator:
         pop = heapq.heappop
         horizon = (1 << 63) if until is None else until
         limit = (1 << 63) if max_events is None else max_events
+        # int sentinel keeps the per-event compare int-vs-int when not sampling
+        next_sample = smp.next_due(self.now) if smp_on else (1 << 63)
         try:
             while heap:
                 entry = heap[0]
@@ -282,10 +308,18 @@ class Simulator:
                         exhausted = False
                         break
                     pop(heap)
-                    if time < self.now:
+                    if time >= next_sample:
+                        next_sample = smp.sample(time)
+                    if aud_on and time < self.now:
                         aud.clock_violation(time, self.now)
                     self.now = time
-                    entry[2](*entry[3])
+                    if prof_on:
+                        fn = entry[2]
+                        t0 = perf_counter()
+                        fn(*entry[3])
+                        prof.record(fn, perf_counter() - t0)
+                    else:
+                        entry[2](*entry[3])
                     processed += 1
                     continue
                 ev = entry[2]
@@ -300,22 +334,33 @@ class Simulator:
                     exhausted = False
                     break
                 pop(heap)
-                if time < self.now:
+                if time >= next_sample:
+                    next_sample = smp.sample(time)
+                if aud_on and time < self.now:
                     aud.clock_violation(time, self.now)
                 self.now = time
                 fn = ev.fn
                 args = ev.args
                 ev.cancelled = True
                 ev.sim = None
-                fn(*args)
+                if prof_on:
+                    t0 = perf_counter()
+                    fn(*args)
+                    prof.record(fn, perf_counter() - t0)
+                else:
+                    fn(*args)
                 processed += 1
         finally:
             self._running = False
             self._live -= processed
         if exhausted and until is not None and self.now < until:
             self.now = until
+        if smp_on and self.now >= next_sample:
+            # the horizon advance crossed boundaries with no events in between
+            smp.sample(self.now)
         self.events_processed += processed
-        aud.clock_checked(processed)
+        if aud_on:
+            aud.clock_checked(processed)
         tel = self.telemetry
         if processed and tel.enabled:
             tel.sim_events(self.now, processed)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from ..obs.tracer import NULL_TRACER
 from .engine import Simulator
 from .packet import ACK, DATA, PACKET_POOL, PROBE, PROBE_ACK, Packet
 from .port import Port
@@ -32,6 +33,7 @@ class Host:
         "rx_bytes",
         "rx_packets",
         "audit",
+        "tracer",
     )
 
     def __init__(self, sim: Simulator, node_id: int, n_queues: int = 8, name: str = ""):
@@ -47,6 +49,7 @@ class Host:
         self.rx_bytes = 0
         self.rx_packets = 0
         self.audit = sim.audit
+        self.tracer = getattr(sim, "tracer", NULL_TRACER)
 
     #: host NIC queue count: room for 16 virtual priorities plus an ACK queue
     NIC_QUEUES = 18
@@ -97,6 +100,9 @@ class Host:
         aud = self.audit
         if aud.enabled:
             aud.packet_delivered(pkt.size)
+        trc = self.tracer
+        if trc.enabled and pkt.trace is not None:
+            trc.finish(pkt.trace, self.sim.now, "delivered")
         # the host is the packet's terminal owner: endpoints read fields
         # synchronously in on_packet and never retain the object
         PACKET_POOL.release(pkt)

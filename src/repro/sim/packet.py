@@ -79,6 +79,7 @@ class Packet:
         "sack",
         "hash_salt",
         "ctx",
+        "trace",
         "_in_pool",
     )
 
@@ -117,6 +118,9 @@ class Packet:
         #: per-hop owner context folded into the packet (what ports used to
         #: carry as a separate ``(pkt, ctx)`` queue-entry tuple)
         self.ctx: Any = None
+        #: causal-tracing tag (see repro.obs.tracer); None unless this packet
+        #: was deterministically sampled by an enabled PacketTracer
+        self.trace: Any = None
         self._in_pool = False
 
     @property
@@ -202,6 +206,7 @@ class PacketPool:
             pkt.sack = None
             pkt.hash_salt = 0
             pkt.ctx = None
+            pkt.trace = None
             return pkt
         self.allocated += 1
         return Packet(kind, size, src, dst, flow_id, seq, priority, payload, send_ts)
@@ -221,6 +226,7 @@ class PacketPool:
         pkt.int_hops = None
         pkt.sack = None
         pkt.ctx = None
+        pkt.trace = None
         self.released += 1
         self._free.append(pkt)
 

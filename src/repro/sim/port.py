@@ -28,6 +28,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Callable, List, Optional
 
+from ..obs.sampler import NULL_SAMPLER
+from ..obs.tracer import NULL_TRACER
 from ..telemetry.recorder import NULL_RECORDER
 from .engine import Simulator
 from .packet import PACKET_POOL, IntHop, Packet
@@ -70,6 +72,7 @@ class Port:
         "impairment",
         "telemetry",
         "audit",
+        "tracer",
     )
 
     def __init__(
@@ -130,6 +133,12 @@ class Port:
         self.audit = sim.audit
         if self.audit.enabled:
             self.audit.register_port(self)
+        #: causal packet tracer snapshot (see repro.obs.tracer); the untraced
+        #: path is one flag check per hook site
+        self.tracer = getattr(sim, "tracer", NULL_TRACER)
+        smp = getattr(sim, "sampler", NULL_SAMPLER)
+        if smp.enabled:
+            smp.register_port(self)
 
     # ------------------------------------------------------------------
     @property
@@ -195,6 +204,10 @@ class Port:
             if marked:
                 tel.ecn_mark(now, self.name, q)
             tel.queue_depth(now, self.name, q, qbytes[q], self.total_bytes)
+        trc = self.tracer
+        if trc.enabled and pkt.trace is not None:
+            # before the kick: _kick may start transmitting this very packet
+            trc.enqueued(pkt.trace, self.name, q, self.sim.now)
         if not self.busy:
             self._kick()
 
@@ -205,6 +218,9 @@ class Port:
                 f"{self.name}: PFC priority {prio} out of range [0, {len(self.paused)})"
             )
         self.paused[prio] = paused
+        trc = self.tracer
+        if trc.enabled:
+            trc.pause_change(self.name, prio, paused, self.sim.now)
         if not paused and not self.busy:
             self._kick()
 
@@ -251,6 +267,7 @@ class Port:
         dropped = 0
         drained: List[int] = []
         aud = self.audit
+        trc = self.tracer
         for q in range(self.n_queues):
             queue = self.queues[q]
             if not queue:
@@ -264,6 +281,8 @@ class Port:
                     self.on_dequeue(pkt, pkt.ctx)
                 if aud.enabled:
                     aud.packet_dropped("link_cut", pkt.size)
+                if trc.enabled and pkt.trace is not None:
+                    trc.finish(pkt.trace, self.sim.now, "dropped:link_cut")
                 PACKET_POOL.release(pkt)
                 dropped += 1
         self._active = 0
@@ -352,9 +371,18 @@ class Port:
                     aud = self.audit
                     if aud.enabled:
                         aud.packet_corrupted(pkt.size)
+                    trc = self.tracer
+                    if trc.enabled and pkt.trace is not None:
+                        trc.start_tx(pkt.trace, now, tx, 0, pkt.priority)
+                        trc.finish(pkt.trace, t1, "corrupted")
                     PACKET_POOL.release(pkt)
                     sim.call_at(t1, self._tx_wake)
                     return
+            trc = self.tracer
+            if trc.enabled and pkt.trace is not None:
+                # prop is measured t2 - t1 so impairment delay spikes land in
+                # the propagation component and spans keep summing to e2e
+                trc.start_tx(pkt.trace, now, tx, t2 - t1, pkt.priority)
             # fused: delivery at t2 scheduled up front, wake-up frees the port
             sim.call_at2(
                 t2,
@@ -365,6 +393,9 @@ class Port:
                 (),
             )
         else:
+            trc = self.tracer
+            if trc.enabled and pkt.trace is not None:
+                trc.start_tx(pkt.trace, now, tx, self.prop_delay_ns, pkt.priority)
             sim.call_after(tx, self._tx_done, pkt)
 
     def _tx_wake(self) -> None:
@@ -384,12 +415,21 @@ class Port:
         imp = self.impairment
         if imp is not None:
             t2 = imp.transmit(sim.now + self.prop_delay_ns)
+            trc = self.tracer
             if t2 < 0:
                 aud = self.audit
                 if aud.enabled:
                     aud.packet_corrupted(pkt.size)
+                if trc.enabled and pkt.trace is not None:
+                    if pkt.trace.hops:
+                        pkt.trace.hops[-1].prop_ns = 0
+                    trc.finish(pkt.trace, sim.now, "corrupted")
                 PACKET_POOL.release(pkt)
             else:
+                if trc.enabled and pkt.trace is not None and pkt.trace.hops:
+                    # _kick recorded the nominal propagation delay; correct it
+                    # for the impairment so spans still sum to e2e
+                    pkt.trace.hops[-1].prop_ns = t2 - sim.now
                 sim.call_at(t2, peer.receive, pkt, self.peer_in_idx)
         else:
             sim.call_after(self.prop_delay_ns, peer.receive, pkt, self.peer_in_idx)

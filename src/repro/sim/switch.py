@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
+from ..obs.tracer import NULL_TRACER
 from .buffer import SharedBuffer
 from .engine import Simulator
 from .packet import PACKET_POOL, Packet
@@ -91,6 +92,7 @@ class Switch:
         "forwarded",
         "pfc_listeners",
         "audit",
+        "tracer",
     )
 
     def __init__(self, sim: Simulator, node_id: int, cfg: SwitchConfig, name: str = ""):
@@ -129,6 +131,7 @@ class Switch:
         self.audit = sim.audit
         if self.audit.enabled:
             self.audit.register_switch(self)
+        self.tracer = getattr(sim, "tracer", NULL_TRACER)
 
     # ------------------------------------------------------------------
     # topology wiring
@@ -188,6 +191,9 @@ class Switch:
             aud = self.audit
             if aud.enabled:
                 aud.packet_dropped("switch_dead", pkt.size)
+            trc = self.tracer
+            if trc.enabled and pkt.trace is not None:
+                trc.finish(pkt.trace, self.sim.now, "dropped:switch_dead")
             PACKET_POOL.release(pkt)
             return
         try:
@@ -215,6 +221,9 @@ class Switch:
             aud = self.audit
             if aud.enabled:
                 aud.packet_dropped("blackhole", pkt.size)
+            trc = self.tracer
+            if trc.enabled and pkt.trace is not None:
+                trc.finish(pkt.trace, self.sim.now, "dropped:blackhole")
             PACKET_POOL.release(pkt)
             return
 
@@ -235,6 +244,9 @@ class Switch:
                 aud = self.audit
                 if aud.enabled:
                     aud.packet_dropped(reason, size)
+                trc = self.tracer
+                if trc.enabled and pkt.trace is not None:
+                    trc.finish(pkt.trace, self.sim.now, "dropped:" + reason)
                 PACKET_POOL.release(pkt)
                 return
         if lossless:

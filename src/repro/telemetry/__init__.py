@@ -18,7 +18,7 @@ Quick taste::
 See ``docs/OBSERVABILITY.md`` for the hook points and event taxonomy.
 """
 
-from .export import to_perfetto, write_events_jsonl, write_perfetto
+from .export import JsonlEventStream, to_perfetto, write_events_jsonl, write_perfetto
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .recorder import (
     CHANNELS,
@@ -42,6 +42,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "JsonlEventStream",
     "to_perfetto",
     "write_perfetto",
     "write_events_jsonl",

@@ -26,13 +26,14 @@ from typing import Dict, List, Tuple
 
 from .recorder import Recorder
 
-__all__ = ["to_perfetto", "write_perfetto", "write_events_jsonl"]
+__all__ = ["JsonlEventStream", "to_perfetto", "write_perfetto", "write_events_jsonl"]
 
 _FLOWS_PID = 1
 _PORTS_PID = 2
 _PFC_PID = 3
 _BUFFERS_PID = 4
 _FAULTS_PID = 5
+_PACKETS_PID = 6
 
 #: JSONL field names per channel (kept in sync with the Recorder tuples)
 _JSONL_FIELDS: Dict[str, Tuple[str, ...]] = {
@@ -73,6 +74,98 @@ def write_events_jsonl(recorder: Recorder, path: str) -> int:
             fh.write(line)
             fh.write("\n")
     return len(rows)
+
+
+class _StreamList:
+    """Channel-list stand-in that writes each appended event straight to disk.
+
+    Quacks enough like the list the :class:`Recorder` appends to —
+    ``append``/``len``/``bool``/``clear`` — that recorder hook methods and
+    ``event_counts()`` work unchanged.  Reading events back is impossible by
+    design (they were never retained); iteration raises so exporters that
+    need in-memory events fail loudly instead of silently exporting nothing.
+    """
+
+    __slots__ = ("_ch", "_fields", "_stream", "count")
+
+    def __init__(self, ch: str, fields: Tuple[str, ...], stream: "JsonlEventStream"):
+        self._ch = ch
+        self._fields = fields
+        self._stream = stream
+        self.count = 0
+
+    def append(self, ev: tuple) -> None:
+        obj = {"ch": self._ch}
+        obj.update(zip(self._fields, ev))
+        self._stream._write_line(json.dumps(obj))
+        self.count += 1
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __bool__(self) -> bool:
+        return self.count > 0
+
+    def clear(self) -> None:
+        self.count = 0
+
+    def __iter__(self):
+        raise RuntimeError(
+            f"channel {self._ch!r} is streamed to disk by JsonlEventStream; "
+            "in-memory iteration is unavailable while streaming is active"
+        )
+
+
+class JsonlEventStream:
+    """Streams a recorder's events to a JSONL file as they are recorded.
+
+    Where :func:`write_events_jsonl` buffers every event in memory and sorts
+    at the end, this exporter swaps each channel's event list for a
+    :class:`_StreamList` that serialises events the moment they are appended
+    — constant memory regardless of run length.  Lines appear in *recording*
+    order (simulation order, up to same-tick interleaving across channels);
+    consumers needing strict timestamp order can sort by ``t`` afterwards.
+
+    Use as a context manager, or call :meth:`finalize` explicitly (flushes
+    and closes the file, and restores fresh in-memory channel lists)::
+
+        rec = Recorder()
+        with JsonlEventStream(rec, "events.jsonl"):
+            set_default_recorder(rec)
+            ...run...
+    """
+
+    def __init__(self, recorder: Recorder, path: str):
+        self.recorder = recorder
+        self.path = path
+        self.lines = 0
+        self._fh = open(path, "w")
+        self.finalized = False
+        for ch in recorder.events:
+            recorder.events[ch] = _StreamList(ch, _JSONL_FIELDS[ch], self)
+
+    def _write_line(self, line: str) -> None:
+        self._fh.write(line)
+        self._fh.write("\n")
+        self.lines += 1
+
+    def finalize(self) -> int:
+        """Flush + close the file and detach from the recorder.  Idempotent;
+        returns the number of lines written."""
+        if self.finalized:
+            return self.lines
+        self.finalized = True
+        self._fh.flush()
+        self._fh.close()
+        # hand the recorder fresh lists so later use doesn't hit a closed file
+        self.recorder.events = {ch: [] for ch in self.recorder.events}
+        return self.lines
+
+    def __enter__(self) -> "JsonlEventStream":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.finalize()
 
 
 class _TraceBuilder:
@@ -125,8 +218,15 @@ class _TraceBuilder:
         return self._meta + [obj for _, _, obj in self.events]
 
 
-def to_perfetto(recorder: Recorder) -> dict:
-    """Convert a recorder's events to a Chrome ``trace_event`` JSON object."""
+def to_perfetto(recorder: Recorder, tracer=None) -> dict:
+    """Convert a recorder's events to a Chrome ``trace_event`` JSON object.
+
+    Pass a finalized :class:`repro.obs.tracer.PacketTracer` to add a
+    **packets** process: per traced packet, one complete (``X``) span per
+    hop carrying the queueing/pause/serialization/propagation breakdown,
+    linked hop-to-hop with flow arrows (``s``/``t`` events keyed by trace
+    id) so a sampled packet's journey reads as one connected chain.
+    """
     tb = _TraceBuilder()
     tb.meta(_FLOWS_PID, "flows")
     tb.meta(_PORTS_PID, "ports")
@@ -238,6 +338,44 @@ def to_perfetto(recorder: Recorder) -> dict:
             kind, target = key
             tb.span_end(end_ts, _FAULTS_PID, tb.tid_for(_FAULTS_PID, key, f"{kind} {target}"))
 
+    # --- causal packet traces: per-hop X spans + flow arrows ----------------
+    if tracer is not None and getattr(tracer, "traces", None):
+        tb.meta(_PACKETS_PID, "packets")
+        for tr in tracer.traces:
+            tid = tb.tid_for(_PACKETS_PID, tr.flow_id, f"flow {tr.flow_id} packets")
+            arrow_name = f"pkt f{tr.flow_id} s{tr.seq}"
+            for i, hop in enumerate(tr.hops):
+                tb.add(
+                    hop.t_enq,
+                    {
+                        "name": hop.port,
+                        "cat": "packet_hop",
+                        "ph": "X",
+                        "pid": _PACKETS_PID,
+                        "tid": tid,
+                        "dur": hop.total_ns / 1000.0,
+                        "args": {
+                            "trace": tr.trace_id,
+                            "seq": tr.seq,
+                            "queue_ns": hop.queue_ns,
+                            "pause_ns": hop.pause_ns,
+                            "tx_ns": hop.tx_ns,
+                            "prop_ns": hop.prop_ns,
+                        },
+                    },
+                )
+                tb.add(
+                    hop.t_enq,
+                    {
+                        "name": arrow_name,
+                        "cat": "packet_flow",
+                        "ph": "s" if i == 0 else "t",
+                        "id": tr.trace_id,
+                        "pid": _PACKETS_PID,
+                        "tid": tid,
+                    },
+                )
+
     return {
         "traceEvents": tb.render(),
         "displayTimeUnit": "ns",
@@ -245,9 +383,9 @@ def to_perfetto(recorder: Recorder) -> dict:
     }
 
 
-def write_perfetto(recorder: Recorder, path: str) -> int:
+def write_perfetto(recorder: Recorder, path: str, tracer=None) -> int:
     """Write the Perfetto/Chrome trace JSON; returns the event count."""
-    trace = to_perfetto(recorder)
+    trace = to_perfetto(recorder, tracer=tracer)
     with open(path, "w") as fh:
         json.dump(trace, fh)
     return len(trace["traceEvents"])

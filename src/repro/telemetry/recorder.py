@@ -274,7 +274,8 @@ class Recorder:
     # reporting
     # ------------------------------------------------------------------
     def event_counts(self) -> Dict[str, int]:
-        return {ch: len(evs) for ch, evs in self.events.items() if evs}
+        # sorted by channel name so dumps/goldens diff stably
+        return {ch: len(self.events[ch]) for ch in sorted(self.events) if self.events[ch]}
 
     def snapshot(self) -> dict:
         """Per-run summary, safe to embed in an experiment's result dict."""

@@ -17,6 +17,9 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Optional
 
+from ..obs.inspector import NULL_INSPECTOR
+from ..obs.sampler import NULL_SAMPLER
+from ..obs.tracer import NULL_TRACER
 from ..sim.engine import Simulator
 from ..sim.network import Network
 from ..sim.packet import DATA, HEADER_BYTES, MIN_PACKET_BYTES, PACKET_POOL, PROBE, PROBE_ACK, Packet
@@ -57,6 +60,11 @@ class FlowSender:
         self.on_done = on_done
         self.telemetry = getattr(sim, "telemetry", NULL_RECORDER)
         self.audit = sim.audit
+        self.tracer = getattr(sim, "tracer", NULL_TRACER)
+        self.inspector = getattr(sim, "inspector", NULL_INSPECTOR)
+        smp = getattr(sim, "sampler", NULL_SAMPLER)
+        if smp.enabled:
+            smp.register_sender(self)
 
         self.n_packets = (flow.size_bytes + mtu - 1) // mtu
         self._last_payload = flow.size_bytes - (self.n_packets - 1) * mtu
@@ -114,6 +122,9 @@ class FlowSender:
         tel = self.telemetry
         if tel.enabled:
             tel.flow_state(self.sim.now, self.flow.flow_id, "running")
+        insp = self.inspector
+        if insp.enabled:
+            insp.transition(self.sim.now, self.flow.flow_id, "running")
         self.cc.on_start()
         self.try_send()
 
@@ -123,6 +134,9 @@ class FlowSender:
         tel = self.telemetry
         if tel.enabled:
             tel.flow_state(self.sim.now, self.flow.flow_id, "done")
+        insp = self.inspector
+        if insp.enabled:
+            insp.transition(self.sim.now, self.flow.flow_id, "done")
         for ev_name in ("_pace_ev", "_rto_ev", "_probe_ev"):
             ev = getattr(self, ev_name)
             if ev is not None:
@@ -202,6 +216,9 @@ class FlowSender:
             self.inflight_bytes += payload
         if self.flow.first_tx_ns is None:
             self.flow.first_tx_ns = self.sim.now
+        trc = self.tracer
+        if trc.enabled:
+            trc.maybe_start(pkt, self.sim.now)
         self.flow.src.send(pkt)
         self._arm_rto()
 
@@ -238,6 +255,9 @@ class FlowSender:
             if tel.enabled:
                 tel.probe(self.sim.now, self.flow.flow_id, "ack")
                 tel.cwnd_update(self.sim.now, self.flow.flow_id, self.cc.cwnd, delay)
+            insp = self.inspector
+            if insp.enabled:
+                insp.probe(self.sim.now, self.flow.flow_id, "ack")
             aud = self.audit
             if aud.enabled:
                 aud.sender_event(self.sim.now, self)
@@ -262,6 +282,9 @@ class FlowSender:
         tel = self.telemetry
         if tel.enabled:
             tel.cwnd_update(self.sim.now, self.flow.flow_id, self.cc.cwnd, delay)
+        insp = self.inspector
+        if insp.enabled:
+            insp.ack(self.sim.now, self.flow.flow_id, newly)
         if self.acked_count == self.n_packets:
             self._finish()
             return
@@ -412,6 +435,12 @@ class FlowSender:
         tel = self.telemetry
         if tel.enabled:
             tel.probe(self.sim.now, self.flow.flow_id, "send")
+        insp = self.inspector
+        if insp.enabled:
+            insp.probe(self.sim.now, self.flow.flow_id, "send")
+        trc = self.tracer
+        if trc.enabled:
+            trc.maybe_start(pkt, self.sim.now)
         self.flow.src.send(pkt)
         self._arm_rto()
 

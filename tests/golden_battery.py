@@ -248,6 +248,53 @@ def run_battery_audited(mode: str = "strict") -> Tuple[Dict[str, object], Dict[s
     return results, reports
 
 
+#: the --obs modes and the scope each installs around every scenario
+_OBS_KINDS = ("trace", "sample", "profile", "inspect")
+
+
+def run_battery_obs(kind: str) -> Tuple[Dict[str, object], Dict[str, dict]]:
+    """Run every scenario with one ``repro.obs`` subsystem live.
+
+    ``kind`` is one of ``trace`` (packet tracer, sample_every=1), ``sample``
+    (time-series sampler), ``profile`` (engine self-profiler), ``inspect``
+    (PrioPlus channel inspector) or ``all`` (all four at once).  Returns
+    ``(results, obs_stats)``; the results must be byte-identical to the
+    committed goldens — introspection must not feed back into the simulation.
+    """
+    from contextlib import ExitStack
+
+    from repro.obs import inspect_scope, profile_scope, sample_scope, trace_scope
+    from repro.runner.cache import json_safe
+
+    kinds = _OBS_KINDS if kind == "all" else (kind,)
+    results: Dict[str, object] = {}
+    stats: Dict[str, dict] = {}
+    for name, fn in BATTERY:
+        with ExitStack() as stack:
+            row: Dict[str, object] = {}
+            if "trace" in kinds:
+                tracer = stack.enter_context(trace_scope(sample_every=1))
+            if "sample" in kinds:
+                sampler = stack.enter_context(sample_scope(stride_ns=100_000))
+            if "profile" in kinds:
+                profiler = stack.enter_context(profile_scope())
+            if "inspect" in kinds:
+                inspector = stack.enter_context(inspect_scope())
+            results[name] = json_safe(fn())
+        if "trace" in kinds:
+            row["traced"] = tracer.snapshot()["recorded"]
+        if "sample" in kinds:
+            row["samples"] = sampler.samples_taken
+        if "profile" in kinds:
+            row["events_profiled"] = profiler.events
+        if "inspect" in kinds:
+            row["transitions"] = sum(
+                len(rec["transitions"]) for rec in inspector.report()["flows"].values()
+            )
+        stats[name] = row
+    return results, stats
+
+
 def canonical(results: Dict[str, object]) -> str:
     return json.dumps(results, sort_keys=True, indent=1)
 
@@ -267,7 +314,28 @@ def main() -> int:
         "any divergence from the committed goldens (proves audit-on is "
         "byte-identical)",
     )
+    parser.add_argument(
+        "--obs",
+        choices=("trace", "sample", "profile", "inspect", "all"),
+        default=None,
+        help="run with a repro.obs introspection subsystem live; fails on any "
+        "divergence from the committed goldens (proves introspection-on is "
+        "byte-identical)",
+    )
     args = parser.parse_args()
+    if args.obs:
+        results, stats = run_battery_obs(args.obs)
+        text = canonical(results)
+        with open(GOLDEN_PATH, encoding="utf-8") as fh:
+            golden = fh.read().rstrip("\n")
+        if text != golden:
+            print(f"OBS FAILED: results with --obs {args.obs} diverge from the "
+                  "committed goldens (introspection fed back into the simulation)")
+            return 1
+        touched = sum(sum(row.values()) for row in stats.values())
+        print(f"obs OK ({args.obs}): {len(results)} scenarios, "
+              f"{touched} introspection records, results byte-identical to goldens")
+        return 0
     if args.audit:
         results, reports = run_battery_audited(args.audit)
         text = canonical(results)
