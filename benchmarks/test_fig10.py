@@ -1,17 +1,17 @@
 """Figure 10: PrioPlus micro-benchmarks (§6.1), reduced scale."""
 
 from repro.experiments.fig10_micro import (
-    run_fig10a,
-    run_fig10b,
-    run_fig10c,
-    run_fig10d,
+    _run_fig10a,
+    _run_fig10b,
+    _run_fig10c,
+    _run_fig10d,
 )
 from repro.sim.engine import MILLISECOND
 
 
 def test_fig10a_eight_priority_staircase(benchmark):
     r = benchmark.pedantic(
-        run_fig10a,
+        _run_fig10a,
         kwargs=dict(n_priorities=4, flows_per_prio=5, rate=25e9, stagger_ns=1 * MILLISECOND),
         rounds=1,
         iterations=1,
@@ -27,7 +27,7 @@ def test_fig10a_eight_priority_staircase(benchmark):
 
 def test_fig10b_incast_delay_near_target(benchmark):
     r = benchmark.pedantic(
-        run_fig10b,
+        _run_fig10b,
         kwargs=dict(n_flows=60, rate=25e9, duration_ns=3 * MILLISECOND),
         rounds=1,
         iterations=1,
@@ -41,8 +41,8 @@ def test_fig10b_incast_delay_near_target(benchmark):
 
 def test_fig10c_dual_rtt_avoids_overreaction(benchmark):
     def both():
-        dual = run_fig10c(True, n_each=5, rate=25e9, duration_ns=2 * MILLISECOND, hi_start_ns=700_000)
-        every = run_fig10c(False, n_each=5, rate=25e9, duration_ns=2 * MILLISECOND, hi_start_ns=700_000)
+        dual = _run_fig10c(True, n_each=5, rate=25e9, duration_ns=2 * MILLISECOND, hi_start_ns=700_000)
+        every = _run_fig10c(False, n_each=5, rate=25e9, duration_ns=2 * MILLISECOND, hi_start_ns=700_000)
         return dual, every
 
     dual, every = benchmark.pedantic(both, rounds=1, iterations=1)
@@ -56,7 +56,7 @@ def test_fig10c_dual_rtt_avoids_overreaction(benchmark):
 
 def test_fig10d_channel_width_grows_with_noise(benchmark):
     r = benchmark.pedantic(
-        run_fig10d,
+        _run_fig10d,
         kwargs=dict(noise_scales=(1.0, 4.0, 8.0), n_flows=3, rate=25e9, duration_ns=1_500_000),
         rounds=1,
         iterations=1,

@@ -1,7 +1,7 @@
 """Figures 12a/12b/15 (coflows) and 12c (ML training), reduced scale."""
 
 from repro.experiments.common import Mode
-from repro.experiments.fig12_coflow import ci_config, run_fig12ab
+from repro.experiments.fig12_coflow import ci_config, _run_fig12ab
 from repro.experiments.mltrain import MlTrainConfig, run_mltrain_comparison
 from repro.experiments.report import format_table
 from repro.sim.engine import MILLISECOND
@@ -24,7 +24,7 @@ def _print_speedups(title, result):
 
 def test_fig12a_coflow_speedup_load40(benchmark):
     cfg = ci_config(load=0.4, duration_ns=1_500_000)
-    result = benchmark.pedantic(run_fig12ab, kwargs={"cfg": cfg}, rounds=1, iterations=1)
+    result = benchmark.pedantic(_run_fig12ab, kwargs={"cfg": cfg}, rounds=1, iterations=1)
     _print_speedups("Fig 12a: coflow CCT speedup vs Swift baseline (40% load)", result)
     s = result["speedups"]
     # priority scheduling accelerates the small (high-priority) coflows for
@@ -35,7 +35,7 @@ def test_fig12a_coflow_speedup_load40(benchmark):
 
 def test_fig12b_coflow_speedup_load70(benchmark):
     cfg = ci_config(load=0.7, duration_ns=1_500_000)
-    result = benchmark.pedantic(run_fig12ab, kwargs={"cfg": cfg}, rounds=1, iterations=1)
+    result = benchmark.pedantic(_run_fig12ab, kwargs={"cfg": cfg}, rounds=1, iterations=1)
     _print_speedups("Fig 12b/15: coflow CCT speedup vs Swift baseline (70% load)", result)
     s = result["speedups"]
     assert s[Mode.PRIOPLUS]["high4"] > 1.0

@@ -1,8 +1,8 @@
 """Figures 16, 17, 18: ACK priority sensitivity, lossy operation, HPCC/no-CC."""
 
 from repro.experiments.common import Mode
-from repro.experiments.fig12_coflow import ci_config, run_fig17, run_fig18
-from repro.experiments.fig16_ack_hpcc import run_fig16
+from repro.experiments.fig12_coflow import ci_config, _run_fig17, _run_fig18
+from repro.experiments.fig16_ack_hpcc import _run_fig16
 from repro.experiments.flowsched import FlowSchedConfig
 from repro.experiments.report import format_table
 
@@ -10,7 +10,7 @@ from repro.experiments.report import format_table
 def test_fig16_ack_priority_and_hpcc(benchmark):
     cfg = FlowSchedConfig(rate_bps=100e9, duration_ns=400_000, size_scale=0.1)
     results = benchmark.pedantic(
-        run_fig16, kwargs={"n_priorities": 8, "cfg": cfg}, rounds=1, iterations=1
+        _run_fig16, kwargs={"n_priorities": 8, "cfg": cfg}, rounds=1, iterations=1
     )
     by_mode = {r["mode"]: r for r in results}
     rows = [
@@ -38,7 +38,7 @@ def test_fig17_lossy_environment(benchmark):
     lossy = ci_config(load=0.7, duration_ns=1_200_000, lossy=True)
 
     def both():
-        a = run_fig17(lossy)
+        a = _run_fig17(lossy)
         from repro.experiments.coflow_scenario import run_coflow_comparison
 
         b = run_coflow_comparison([Mode.PRIOPLUS], lossless)
@@ -58,7 +58,7 @@ def test_fig17_lossy_environment(benchmark):
 
 def test_fig18_hpcc_and_nocc_coflows(benchmark):
     cfg = ci_config(load=0.7, duration_ns=1_200_000)
-    result = benchmark.pedantic(run_fig18, kwargs={"cfg": cfg}, rounds=1, iterations=1)
+    result = benchmark.pedantic(_run_fig18, kwargs={"cfg": cfg}, rounds=1, iterations=1)
     rows = []
     for mode, s in result["speedups"].items():
         rows.append([mode, round(s["overall"], 3), round(s.get("high4", float("nan")), 3),

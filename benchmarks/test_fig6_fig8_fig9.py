@@ -1,22 +1,22 @@
 """Figures 6, 8, 9: dual-RTT observability and the testbed experiments."""
 
 from repro.experiments.common import Mode
-from repro.experiments.fig6_dualrtt import run_fig6
-from repro.experiments.fig8_testbed import run_fig8
-from repro.experiments.fig9_fluct import run_fig9
+from repro.experiments.fig6_dualrtt import _run_fig6
+from repro.experiments.fig8_testbed import _run_fig8
+from repro.experiments.fig9_fluct import _run_fig9
 from repro.sim.engine import MILLISECOND
 
 
 def test_fig6_increase_visible_after_two_rtts(benchmark):
-    r = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
+    r = benchmark.pedantic(_run_fig6, rounds=1, iterations=1)
     print(f"\nFig 6: {r}")
     assert r["lag_rtts"] == 2.0
 
 
 def test_fig8_prioplus_vs_swift_staircase(benchmark):
     def both():
-        pp = run_fig8(Mode.PRIOPLUS, stagger_ns=2 * MILLISECOND)
-        sw = run_fig8(Mode.SWIFT_TARGETS, stagger_ns=2 * MILLISECOND)
+        pp = _run_fig8(Mode.PRIOPLUS, stagger_ns=2 * MILLISECOND)
+        sw = _run_fig8(Mode.SWIFT_TARGETS, stagger_ns=2 * MILLISECOND)
         return pp, sw
 
     pp, sw = benchmark.pedantic(both, rounds=1, iterations=1)
@@ -36,8 +36,8 @@ def test_fig8_prioplus_vs_swift_staircase(benchmark):
 
 def test_fig9_cardinality_estimation_tames_fluctuations(benchmark):
     def both():
-        pp = run_fig9(Mode.PRIOPLUS, duration_ns=6 * MILLISECOND)
-        sw = run_fig9(Mode.SWIFT_TARGETS, duration_ns=6 * MILLISECOND)
+        pp = _run_fig9(Mode.PRIOPLUS, duration_ns=6 * MILLISECOND)
+        sw = _run_fig9(Mode.SWIFT_TARGETS, duration_ns=6 * MILLISECOND)
         return pp, sw
 
     pp, sw = benchmark.pedantic(both, rounds=1, iterations=1)

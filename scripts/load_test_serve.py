@@ -1,0 +1,249 @@
+#!/usr/bin/env python3
+"""Load-test the experiment-serving daemon and write ``BENCH_serve.json``.
+
+Boots an embedded :class:`repro.serve.BackgroundServer` on a unix socket and
+drives it through four phases:
+
+1. **cold** — a sweep of quick experiments against an empty cache; every
+   point is a fresh simulation.
+2. **warm** — the identical sweep again; every point must come from the
+   content-addressed cache.
+3. **overlap** — N clients submit the *same uncached* sweep concurrently;
+   the in-flight table must collapse the duplicate executions (combined
+   cache+inflight hit ratio >= 0.5, the acceptance threshold).
+4. **chaos** — a worker is SIGKILLed mid-request; the fleet rebuilds and the
+   request must still succeed (crash-retry, never a client-visible failure).
+
+Results are byte-compared against the serial in-process runner throughout —
+the daemon must be a pure performance/dedupe layer, never a semantic one.
+
+Usage:
+    PYTHONPATH=src python scripts/load_test_serve.py
+    PYTHONPATH=src python scripts/load_test_serve.py --clients 4 --out BENCH_serve.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import statistics
+import sys
+import tempfile
+import threading
+import time
+
+from repro import api
+from repro.client import ServeClient, connect
+from repro.experiments.common import REGISTRY, FunctionExperiment
+from repro.runner.cache import json_safe
+from repro.serve import BackgroundServer
+
+#: quick sweeps used for the cold/warm phases
+COLD_EXPERIMENTS = ("fig6", "fig3a", "fig3b")
+#: a sweep kept out of the cold/warm phases so the overlap phase races on it
+OVERLAP_EXPERIMENT = "fig9"
+
+
+def _chaos_point(delay_s: float = 1.5, seed: int = 0):
+    """A deliberately slow point, giving the harness time to kill its worker."""
+    time.sleep(delay_s)
+    return {"ok": True, "seed": seed}
+
+
+def _percentiles(samples):
+    if not samples:
+        return {}
+    ordered = sorted(samples)
+    return {
+        "n": len(ordered),
+        "p50_s": ordered[len(ordered) // 2],
+        "p99_s": ordered[min(len(ordered) - 1, int(len(ordered) * 0.99))],
+        "max_s": ordered[-1],
+        "mean_s": statistics.fmean(ordered),
+    }
+
+
+def _timed_run(client, name, latencies, **kwargs):
+    report = {}
+    t0 = time.perf_counter()
+    result = client.run(name, quick=True, report=report, **kwargs)
+    latencies.append(time.perf_counter() - t0)
+    return result, report
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=2, help="fleet size (default: 2)")
+    parser.add_argument(
+        "--clients", type=int, default=3, help="concurrent clients in the overlap phase"
+    )
+    parser.add_argument("--out", default="BENCH_serve.json", help="benchmark artifact path")
+    parser.add_argument(
+        "--skip-chaos", action="store_true", help="skip the SIGKILL worker-crash phase"
+    )
+    args = parser.parse_args()
+
+    REGISTRY.load_all()
+    REGISTRY.register(
+        FunctionExperiment(
+            "load_test_chaos",
+            {"a": (_chaos_point, {"delay_s": 1.5, "seed": 0}),
+             "b": (_chaos_point, {"delay_s": 1.5, "seed": 1})},
+            description="slow points for the load harness's worker-kill phase",
+        )
+    )
+
+    failures = []
+
+    def check(ok: bool, what: str):
+        print(("PASS " if ok else "FAIL ") + what, flush=True)
+        if not ok:
+            failures.append(what)
+
+    bench = {"jobs": args.jobs, "clients": args.clients, "phases": {}}
+    tmp = tempfile.mkdtemp(prefix="repro-serve-bench-")
+    sock = os.path.join(tmp, "serve.sock")
+    t_boot = time.perf_counter()
+    with BackgroundServer(unix_path=sock, jobs=args.jobs, cache=os.path.join(tmp, "cache")) as srv:
+        bench["boot_s"] = time.perf_counter() - t_boot
+        client = connect(srv.address)
+
+        # ---- phase 1: cold ------------------------------------------------
+        cold_lat = []
+        cold_results = {}
+        t0 = time.perf_counter()
+        for name in COLD_EXPERIMENTS:
+            cold_results[name], report = _timed_run(client, name, cold_lat)
+            check(report["executed"] == report["points"], f"cold {name}: all points executed")
+        bench["phases"]["cold"] = {
+            "wall_s": time.perf_counter() - t0,
+            "latency": _percentiles(cold_lat),
+        }
+
+        # served results must be byte-identical to the serial local runner
+        for name in COLD_EXPERIMENTS:
+            local = api.run(name, quick=True)
+            check(
+                json.dumps(cold_results[name], sort_keys=True)
+                == json.dumps(local, sort_keys=True),
+                f"{name}: served result byte-identical to run_experiment",
+            )
+
+        # ---- phase 2: warm (cache fast path) ------------------------------
+        warm_lat = []
+        t0 = time.perf_counter()
+        for name in COLD_EXPERIMENTS:
+            result, report = _timed_run(client, name, warm_lat)
+            check(report["cache_hits"] == report["points"], f"warm {name}: served from cache")
+            check(result == cold_results[name], f"warm {name}: result unchanged")
+        bench["phases"]["warm"] = {
+            "wall_s": time.perf_counter() - t0,
+            "latency": _percentiles(warm_lat),
+        }
+
+        # ---- phase 3: overlap (in-flight dedupe) --------------------------
+        before = client.server_status()
+        overlap_lat = []
+        overlap_results = [None] * args.clients
+        overlap_reports = [{} for _ in range(args.clients)]
+
+        def sweep(i):
+            overlap_results[i], overlap_reports[i] = _timed_run(
+                ServeClient(srv.address), OVERLAP_EXPERIMENT, overlap_lat
+            )
+
+        threads = [threading.Thread(target=sweep, args=(i,)) for i in range(args.clients)]
+        t0 = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        after = client.server_status()
+
+        points = after.points_total - before.points_total
+        executed = after.executed - before.executed
+        hits = (after.cache_hits - before.cache_hits) + (
+            after.inflight_hits - before.inflight_hits
+        )
+        ratio = hits / points if points else 0.0
+        n_points = len(api.get_experiment(OVERLAP_EXPERIMENT, quick=True).points())
+        check(
+            executed == n_points,
+            f"overlap: {n_points} unique points executed once ({executed} ran)",
+        )
+        check(ratio >= 0.5, f"overlap: combined hit ratio {ratio:.2f} >= 0.5")
+        check(
+            all(r == overlap_results[0] for r in overlap_results),
+            "overlap: every client saw the identical result",
+        )
+        local = api.run(OVERLAP_EXPERIMENT, quick=True)
+        check(
+            json.dumps(overlap_results[0], sort_keys=True) == json.dumps(local, sort_keys=True),
+            f"overlap: {OVERLAP_EXPERIMENT} byte-identical to run_experiment",
+        )
+        bench["phases"]["overlap"] = {
+            "wall_s": time.perf_counter() - t0,
+            "clients": args.clients,
+            "points_requested": points,
+            "executed": executed,
+            "hits": hits,
+            "hit_ratio": ratio,
+            "latency": _percentiles(overlap_lat),
+        }
+
+        # ---- phase 4: chaos (SIGKILL a worker mid-request) ----------------
+        if not args.skip_chaos:
+            crashes_before = client.server_status().worker_crashes
+            chaos_box = {}
+
+            def chaos_run():
+                chaos_box["result"] = ServeClient(srv.address).run("load_test_chaos")
+
+            runner = threading.Thread(target=chaos_run)
+            t0 = time.perf_counter()
+            runner.start()
+            time.sleep(0.5)  # let the slow points land on workers
+            victims = client.server_status().workers
+            if victims:
+                os.kill(victims[0], signal.SIGKILL)
+            runner.join(timeout=120)
+            crashed = client.server_status().worker_crashes - crashes_before
+            check(not runner.is_alive(), "chaos: request completed after worker kill")
+            check(
+                chaos_box.get("result") == {"a": {"ok": True, "seed": 0},
+                                            "b": {"ok": True, "seed": 1}},
+                "chaos: killed-worker request still returned the right result",
+            )
+            check(crashed >= 1, f"chaos: fleet recorded the crash ({crashed})")
+            bench["phases"]["chaos"] = {
+                "wall_s": time.perf_counter() - t0,
+                "worker_crashes": crashed,
+            }
+
+        stats = client.server_status()
+        bench["server"] = {
+            "points_total": stats.points_total,
+            "cache_hits": stats.cache_hits,
+            "inflight_hits": stats.inflight_hits,
+            "executed": stats.executed,
+            "worker_crashes": stats.worker_crashes,
+            "hit_ratio": stats.hit_ratio,
+        }
+
+    bench["ok"] = not failures
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(json_safe(bench), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}", flush=True)
+    if failures:
+        print(f"{len(failures)} check(s) failed:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,11 +7,16 @@ JSON artifact per experiment under ``--out``.  With ``--cache`` a rerun
 skips every point whose result is already on disk, so an interrupted sweep
 resumes where it stopped.
 
+With ``--server`` the sweep runs against a ``python -m repro serve`` daemon
+instead of local worker processes — the daemon's warm fleet, cache and
+in-flight dedupe are shared with every other client (see docs/SERVE.md).
+
 Usage:
     python scripts/run_all_experiments.py                       # everything, parallel
     python scripts/run_all_experiments.py --serial              # one process
     python scripts/run_all_experiments.py --only fig8,fig10c
     python scripts/run_all_experiments.py --cache .cache/repro --out results/
+    python scripts/run_all_experiments.py --server /tmp/repro.sock
 
 Expect tens of minutes for the full set; ``--only`` is the practical way to
 iterate on one figure.
@@ -25,10 +30,10 @@ import os
 import sys
 import time
 
+import repro.api as api
 from repro.analysis import buffer_bandwidth_ratios, start_strategy_costs
-from repro.experiments.common import REGISTRY
 from repro.experiments.report import print_table
-from repro.runner import RunnerError, run_experiment
+from repro.runner import RunnerError
 from repro.runner.cache import json_safe
 
 
@@ -61,6 +66,12 @@ def main() -> int:
     )
     parser.add_argument("--cache", metavar="DIR", help="content-addressed result cache directory")
     parser.add_argument(
+        "--server",
+        metavar="ADDR",
+        help="run on a serving daemon (host:port or unix socket path) instead "
+        "of local workers; --jobs/--cache are then the daemon's concern",
+    )
+    parser.add_argument(
         "--out", default="results", metavar="DIR", help="per-experiment JSON artifact directory"
     )
     parser.add_argument(
@@ -74,8 +85,7 @@ def main() -> int:
     args = parser.parse_args()
     jobs = 1 if args.serial else max(1, args.jobs)
 
-    REGISTRY.load_all()
-    names = REGISTRY.names()
+    names = api.experiments()
     if args.only:
         wanted = [n.strip() for n in args.only.split(",") if n.strip()]
         unknown = sorted(set(wanted) - set(names))
@@ -90,21 +100,24 @@ def main() -> int:
     os.makedirs(args.out, exist_ok=True)
     t_start = time.time()
     failures = []
+    descriptions = api.describe()
     for name in names:
-        experiment = REGISTRY.get(name)
         report: dict = {}
         t0 = time.time()
         try:
-            result = run_experiment(
-                experiment, jobs=jobs, cache=args.cache, progress=True, report=report
-            )
-        except RunnerError as exc:
+            if args.server:
+                result = api.run(name, server=args.server, report=report, tag="run_all")
+            else:
+                result = api.run(
+                    name, jobs=jobs, cache=args.cache, progress=True, report=report
+                )
+        except (RunnerError, api.ServeError) as exc:
             failures.append(name)
             print(f"FAILED {name}: {exc}", file=sys.stderr)
             continue
         artifact = {
             "experiment": name,
-            "description": getattr(experiment, "description", ""),
+            "description": descriptions.get(name, ""),
             "report": report,
             "result": json_safe(result),
         }

@@ -7,6 +7,17 @@ Lists and runs individual paper experiments without writing a script:
     python -m repro run fig10c --jobs 4          # shard points across cores
     python -m repro run fig12 --jobs 4 --cache .cache/repro
 
+Serving (see docs/SERVE.md): a long-running daemon keeps a warm worker fleet
+and dedupes work across clients; ``run``/``submit``/``status`` talk to it:
+
+    python -m repro serve --unix /tmp/repro.sock --cache .cache/repro &
+    python -m repro run fig10c --server /tmp/repro.sock
+    python -m repro submit fig12 --server /tmp/repro.sock
+    python -m repro status --server /tmp/repro.sock [job-000001]
+
+All execution goes through :mod:`repro.api`, the stable programmatic facade
+(the CLI is a thin shell around it).
+
 Every experiment is a registered :class:`repro.experiments.common.Experiment`
 dispatched through :func:`repro.runner.run_experiment`; ``--jobs N`` fans the
 experiment's independent points over a process pool and ``--cache DIR`` skips
@@ -42,6 +53,8 @@ import json
 import sys
 from typing import Callable, Dict
 
+from . import api
+from .client import ServeError
 from .experiments.common import REGISTRY
 from .obs import (
     ChannelInspector,
@@ -53,7 +66,7 @@ from .obs import (
     set_default_sampler,
     set_default_tracer,
 )
-from .runner import RunnerError, run_bench, run_experiment, write_bench
+from .runner import RunnerError, run_bench, write_bench
 from .runner.cache import json_safe
 from .telemetry import (
     JsonlEventStream,
@@ -125,10 +138,62 @@ def _bench_main(argv) -> int:
     return 0
 
 
+def _submit_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro submit",
+        description="Submit an experiment to a running daemon without waiting.",
+    )
+    parser.add_argument("experiment", help="experiment name (see --list)")
+    parser.add_argument("--server", required=True, metavar="ADDR",
+                        help="daemon address: host:port or a unix socket path")
+    parser.add_argument("--quick", action="store_true", help="CI-scale variant")
+    parser.add_argument("--faults", metavar="PLAN", help="fault plan JSON path")
+    parser.add_argument("--audit", nargs="?", const="strict", choices=("strict", "warn"),
+                        default=None, help="run points under the invariant auditor")
+    parser.add_argument("--tag", default="", help="free-form label shown in status")
+    args = parser.parse_args(argv)
+    try:
+        job_id = api.submit(
+            args.experiment, server=args.server, quick=args.quick,
+            faults=args.faults, audit=args.audit, tag=args.tag,
+        )
+    except (ServeError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(job_id)
+    return 0
+
+
+def _status_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro status",
+        description="Server-wide stats, or one job's point-granular status.",
+    )
+    parser.add_argument("job", nargs="?", help="job id (omit for server stats)")
+    parser.add_argument("--server", required=True, metavar="ADDR",
+                        help="daemon address: host:port or a unix socket path")
+    args = parser.parse_args(argv)
+    try:
+        payload = api.status(args.server, args.job)
+    except (ServeError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(json_safe(payload.to_dict()), indent=2))
+    return 0
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "bench":
         return _bench_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from .serve import serve_main
+
+        return serve_main(argv[1:])
+    if argv and argv[0] == "submit":
+        return _submit_main(argv[1:])
+    if argv and argv[0] == "status":
+        return _status_main(argv[1:])
     if argv and argv[0] == "report":
         from .obs.report import report_main
 
@@ -183,6 +248,13 @@ def main(argv=None) -> int:
         "docs/AUDIT.md); 'strict' (the default when the flag is bare) fails "
         "at the first violation, 'warn' aggregates violations into the "
         "result's 'audit' key",
+    )
+    parser.add_argument(
+        "--server",
+        metavar="ADDR",
+        help="run on a serving daemon (host:port or unix socket path) instead "
+        "of in-process; --jobs/--cache are then the daemon's concern "
+        "(see docs/SERVE.md)",
     )
     parser.add_argument(
         "--trace",
@@ -254,6 +326,13 @@ def main(argv=None) -> int:
         experiment = experiment.quick()
 
     obs_requested = bool(args.trace_packets or args.sample or args.profile or args.inspect)
+    if args.server and (args.trace or args.events or obs_requested):
+        print(
+            "error: --trace/--events/--trace-packets/--sample/--profile/--inspect "
+            "record in-process simulator state and cannot be combined with --server",
+            file=sys.stderr,
+        )
+        return 2
     if (args.trace or args.events or obs_requested) and args.jobs > 1:
         print(
             "note: --trace/--events/--trace-packets/--sample/--profile/--inspect "
@@ -285,15 +364,29 @@ def main(argv=None) -> int:
         profiler = EngineProfiler()
         set_default_profiler(profiler)
     try:
-        result = run_experiment(
-            experiment,
-            jobs=args.jobs,
-            cache=args.cache,
-            progress=args.progress,
-            faults=args.faults,
-            audit=args.audit,
-        )
-    except RunnerError as exc:
+        if args.server:
+            def _remote_progress(point, source):
+                print(f"[serve] {args.experiment}: {point} ({source})",
+                      file=sys.stderr, flush=True)
+
+            result = api.run(
+                args.experiment,
+                quick=args.quick,
+                server=args.server,
+                faults=args.faults,
+                audit=args.audit,
+                progress=_remote_progress if args.progress else False,
+            )
+        else:
+            result = api.run(
+                experiment,
+                jobs=args.jobs,
+                cache=args.cache,
+                progress=args.progress,
+                faults=args.faults,
+                audit=args.audit,
+            )
+    except (RunnerError, ServeError, ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     finally:

@@ -1,0 +1,215 @@
+"""The stable public facade for running experiments (API v1).
+
+Everything a user of this package needs for *executing* experiments —
+locally or against a serving daemon — goes through this module.  The CLI
+(``python -m repro``), ``scripts/run_all_experiments.py`` and the load-test
+harness are all built on it; anything not exported here (runner internals,
+server internals, per-figure ``run_figX`` functions) is an implementation
+detail with no stability promise.  Requests and responses are the versioned
+dataclasses from :mod:`repro.serve.protocol`, re-exported here, so the
+programmatic surface and the wire protocol never drift apart.
+
+Local (in-process, via the sharded runner)::
+
+    import repro.api as api
+
+    result = api.run("fig10c", jobs=4, cache=".repro-cache")
+    names = api.experiments()
+    info = api.cache_info(".repro-cache")
+
+Remote (against ``python -m repro serve``)::
+
+    result = api.run("fig10c", server="/tmp/repro.sock")
+
+    job_id = api.submit("fig12", server="/tmp/repro.sock")
+    for event in api.stream(job_id, server="/tmp/repro.sock"):
+        print(event)
+    result = api.result(job_id, server="/tmp/repro.sock")
+
+The remote path produces byte-identical results to the local serial path:
+the daemon executes points through the very same
+``execute_point`` → normalize → cache pipeline as the batch runner.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Union
+
+from .client import ServeClient, ServeError, connect
+from .experiments.common import REGISTRY, Experiment
+from .faults.plan import FaultPlan
+from .runner import ResultCache, RunnerError, run_experiment
+from .serve.protocol import (
+    PROTOCOL_VERSION,
+    JobStatus,
+    ProtocolError,
+    ServerStats,
+    SubmitRequest,
+)
+
+__all__ = [
+    # versioned schema (shared with the wire protocol)
+    "PROTOCOL_VERSION",
+    "SubmitRequest",
+    "JobStatus",
+    "ServerStats",
+    "ProtocolError",
+    # errors
+    "RunnerError",
+    "ServeError",
+    # execution
+    "run",
+    "submit",
+    "status",
+    "stream",
+    "result",
+    # discovery + cache inspection
+    "experiments",
+    "describe",
+    "get_experiment",
+    "cache_info",
+    "connect",
+]
+
+_ExperimentLike = Union[str, Experiment]
+
+
+def get_experiment(experiment: _ExperimentLike, quick: bool = False) -> Experiment:
+    """Resolve a registry name (or pass through an instance), quick-scaled."""
+    exp = REGISTRY.get(experiment) if isinstance(experiment, str) else experiment
+    return exp.quick() if quick else exp
+
+
+def experiments(server: Optional[str] = None) -> List[str]:
+    """Registered experiment names — from the local registry or a daemon."""
+    if server is not None:
+        return sorted(ServeClient(server).experiments())
+    return REGISTRY.names()
+
+
+def describe(server: Optional[str] = None) -> Dict[str, str]:
+    """``{name: description}`` for every registered experiment."""
+    if server is not None:
+        return ServeClient(server).experiments()
+    return {e.name: e.description for e in REGISTRY.experiments()}
+
+
+def run(
+    experiment: _ExperimentLike,
+    quick: bool = False,
+    jobs: int = 1,
+    cache: Union[str, ResultCache, None] = None,
+    progress: Union[bool, Callable[[str, str], None]] = False,
+    faults: Union[str, FaultPlan, dict, None] = None,
+    audit: Optional[str] = None,
+    report: Optional[dict] = None,
+    server: Optional[str] = None,
+    tag: str = "",
+    max_retries: int = 2,
+    retry_backoff_s: float = 0.25,
+) -> dict:
+    """Run one experiment to completion and return its reduced result.
+
+    With ``server=None`` this is the in-process sharded runner
+    (:func:`repro.runner.run_experiment`): ``jobs`` worker processes,
+    optional local ``cache`` directory.  With a ``server`` address the
+    experiment runs on the daemon's warm fleet instead — ``jobs`` and
+    ``cache`` are then the *server's* concern and must not be passed.
+
+    ``progress`` may be ``True`` (stderr progress lines, local only) or a
+    ``(point_name, source)`` callable; remotely the sources are
+    ``"cache"``/``"inflight"``/``"run"``, locally ``"cache"``/``"run"``.
+    """
+    plan_dict = _faults_dict(faults)
+    if server is not None:
+        if jobs != 1 or cache is not None:
+            raise ValueError(
+                "jobs/cache are configured on the daemon, not per request; "
+                "drop them or run locally (server=None)"
+            )
+        if not isinstance(experiment, str):
+            raise ValueError(
+                f"remote runs address experiments by registry name; pass "
+                f"{experiment.name!r} instead of the instance"
+            )
+        on_progress = progress if callable(progress) else None
+        return ServeClient(server).run(
+            experiment,
+            quick=quick,
+            faults=plan_dict,
+            audit=audit,
+            tag=tag,
+            on_progress=on_progress,
+            report=report,
+        )
+    exp = get_experiment(experiment, quick=quick)
+    return run_experiment(
+        exp,
+        jobs=jobs,
+        cache=cache,
+        progress=progress,
+        max_retries=max_retries,
+        retry_backoff_s=retry_backoff_s,
+        report=report,
+        faults=FaultPlan.from_dict(plan_dict) if plan_dict is not None else None,
+        audit=audit,
+    )
+
+
+def submit(
+    experiment: str,
+    server: str,
+    quick: bool = False,
+    faults: Union[str, FaultPlan, dict, None] = None,
+    audit: Optional[str] = None,
+    tag: str = "",
+) -> str:
+    """Submit an experiment to a daemon without waiting; returns the job id."""
+    return ServeClient(server).submit(
+        experiment, quick=quick, faults=_faults_dict(faults), audit=audit, tag=tag
+    )
+
+
+def status(
+    server: str, job_id: Optional[str] = None
+) -> Union[ServerStats, JobStatus]:
+    """Whole-server stats, or one job's point-granular status."""
+    client = ServeClient(server)
+    if job_id is None:
+        return client.server_status()
+    return client.job_status(job_id)
+
+
+def stream(job_id: str, server: str, start: int = 0) -> Iterator[dict]:
+    """A job's JSONL event stream (replay from ``start``, then follow live)."""
+    return ServeClient(server).stream(job_id, start=start)
+
+
+def result(job_id: str, server: str, wait: bool = True) -> dict:
+    """A job's final reduced result (streams to completion when ``wait``)."""
+    return ServeClient(server).result(job_id, wait=wait)
+
+
+def cache_info(
+    cache: Union[str, ResultCache, None] = None, server: Optional[str] = None
+) -> Optional[dict]:
+    """Inspect a content-addressed result cache (local dir or the daemon's)."""
+    if server is not None:
+        return ServeClient(server).cache_info()
+    if cache is None:
+        return None
+    store = cache if isinstance(cache, ResultCache) else ResultCache(cache)
+    return store.info()
+
+
+def _faults_dict(faults: Union[str, FaultPlan, dict, None]) -> Optional[dict]:
+    """Canonicalize any accepted faults form into a JSON-safe plan dict."""
+    if faults is None:
+        return None
+    if isinstance(faults, str):
+        faults = FaultPlan.load(faults)
+    if isinstance(faults, FaultPlan):
+        return faults.to_dict()
+    if isinstance(faults, dict):
+        return FaultPlan.from_dict(faults).to_dict()  # validate early
+    raise TypeError(f"faults must be a plan, dict, path or None, got {type(faults).__name__}")

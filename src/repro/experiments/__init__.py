@@ -2,13 +2,14 @@
 
 Every module registers its experiments behind the uniform protocol in
 :mod:`repro.experiments.common` -- ``Point`` / ``Experiment`` /
-``FunctionExperiment`` -- into the module-level ``REGISTRY``::
+``FunctionExperiment`` -- into the module-level ``REGISTRY``.  The supported
+way to run one is the stable facade::
 
-    from repro.experiments.common import get_experiment
-    from repro.runner import run_experiment
+    import repro.api as api
 
-    result = run_experiment(get_experiment("fig10c"), jobs=4)
+    result = api.run("fig10c", jobs=4)
 
-The historical ``run_figX*`` functions remain as deprecated serial
-wrappers over the same code (see docs/RUNNER.md).
+The historical ``run_figX*`` functions are deprecated shims over the same
+code and emit :class:`DeprecationWarning`; they will be removed once nothing
+imports them (see docs/RUNNER.md).
 """

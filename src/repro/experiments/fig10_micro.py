@@ -26,13 +26,13 @@ from ..sim.switch import SwitchConfig
 from ..topology import star
 from ..transport.flow import Flow
 from ..transport.sender import FlowSender
-from .common import DelaySampler, FunctionExperiment, Mode, RateSampler, register
+from .common import DelaySampler, FunctionExperiment, Mode, RateSampler, deprecated_alias, register
 from .fig8_testbed import run_staircase
 
 __all__ = ["run_fig10a", "run_fig10b", "run_fig10c", "run_fig10d"]
 
 
-def run_fig10a(
+def _run_fig10a(
     n_priorities: int = 8,
     flows_per_prio: int = 30,
     rate: float = 100e9,
@@ -50,7 +50,7 @@ def run_fig10a(
     )
 
 
-def run_fig10b(
+def _run_fig10b(
     n_flows: int = 300,
     rate: float = 100e9,
     duration_ns: int = 4 * MILLISECOND,
@@ -94,7 +94,7 @@ def run_fig10b(
     }
 
 
-def run_fig10c(
+def _run_fig10c(
     dual_rtt: bool,
     n_each: int = 10,
     rate: float = 100e9,
@@ -154,7 +154,7 @@ def run_fig10c(
     }
 
 
-def run_fig10d(
+def _run_fig10d(
     noise_scales: Sequence[float] = (1.0, 2.0, 4.0, 8.0),
     n_flows: int = 5,
     rate: float = 100e9,
@@ -226,14 +226,14 @@ def _merge_fig10d(results: Dict[str, dict]) -> Dict[str, float]:
 register(
     FunctionExperiment(
         "fig10a",
-        {"fig10a": (run_fig10a, {"seed": 1})},
+        {"fig10a": (_run_fig10a, {"seed": 1})},
         description="eight-priority staircase at 100 Gbps (O1/O2)",
     )
 )
 register(
     FunctionExperiment(
         "fig10b",
-        {"fig10b": (run_fig10b, {"seed": 1})},
+        {"fig10b": (_run_fig10b, {"seed": 1})},
         description="300-flow incast: delay pinned near D_target",
     )
 )
@@ -241,8 +241,8 @@ register(
     FunctionExperiment(
         "fig10c",
         {
-            "dual_rtt": (run_fig10c, {"dual_rtt": True, "seed": 1}),
-            "every_rtt": (run_fig10c, {"dual_rtt": False, "seed": 1}),
+            "dual_rtt": (_run_fig10c, {"dual_rtt": True, "seed": 1}),
+            "every_rtt": (_run_fig10c, {"dual_rtt": False, "seed": 1}),
         },
         description="high-priority preemption with vs without the dual-RTT guard",
     )
@@ -251,10 +251,16 @@ register(
     FunctionExperiment(
         "fig10d",
         {
-            f"scale{_s:g}": (run_fig10d, {"noise_scales": (_s,), "seed": 1})
+            f"scale{_s:g}": (_run_fig10d, {"noise_scales": (_s,), "seed": 1})
             for _s in (1.0, 2.0, 4.0, 8.0)
         },
         description="channel-width noise budget vs noise scale",
         reduce_fn=_merge_fig10d,
     )
 )
+
+
+run_fig10a = deprecated_alias(_run_fig10a, "fig10a")
+run_fig10b = deprecated_alias(_run_fig10b, "fig10b")
+run_fig10c = deprecated_alias(_run_fig10c, "fig10c")
+run_fig10d = deprecated_alias(_run_fig10d, "fig10d")

@@ -2,12 +2,12 @@
 
 Thin wrappers over :mod:`repro.experiments.coflow_scenario`:
 
-* :func:`run_fig12ab` — PrioPlus+Swift vs Physical+Swift at 40 % and 70 %
+* :func:`_run_fig12ab` — PrioPlus+Swift vs Physical+Swift at 40 % and 70 %
   load (speedup over the no-priority Swift baseline, high-4/low-4 split);
   the same result dict carries the p99 tail numbers used by Fig 15.
-* :func:`run_fig17` — the 70 % point with PFC disabled and IRN-style loss
+* :func:`_run_fig17` — the 70 % point with PFC disabled and IRN-style loss
   recovery (fast retransmit + short RTO).
-* :func:`run_fig18` — adds HPCC and Physical* w/o CC.
+* :func:`_run_fig18` — adds HPCC and Physical* w/o CC.
 
 Scale note (documented in EXPERIMENTS.md): at CI scale the physical-priority
 baseline benefits from deep-buffer backlog scheduling that masks Swift's
@@ -29,7 +29,7 @@ from .coflow_scenario import (
     run_coflow_mode,
     speedup_summary,
 )
-from .common import Experiment, Mode, Point, register
+from .common import Experiment, Mode, Point, deprecated_alias, register
 
 __all__ = [
     "ci_config",
@@ -69,19 +69,19 @@ def ci_config(load: float = 0.7, lossy: bool = False, **overrides) -> CoflowConf
     return CoflowConfig(**ci_config_kwargs(load=load, lossy=lossy, **overrides))
 
 
-def run_fig12ab(
+def _run_fig12ab(
     load: float = 0.7, cfg: Optional[CoflowConfig] = None
 ) -> Dict[str, object]:
     cfg = cfg or ci_config(load=load)
     return run_coflow_comparison([Mode.PRIOPLUS, Mode.PHYSICAL], cfg)
 
 
-def run_fig17(cfg: Optional[CoflowConfig] = None) -> Dict[str, object]:
+def _run_fig17(cfg: Optional[CoflowConfig] = None) -> Dict[str, object]:
     cfg = cfg or ci_config(load=0.7, lossy=True)
     return run_coflow_comparison([Mode.PRIOPLUS, Mode.PHYSICAL], cfg)
 
 
-def run_fig18(cfg: Optional[CoflowConfig] = None) -> Dict[str, object]:
+def _run_fig18(cfg: Optional[CoflowConfig] = None) -> Dict[str, object]:
     cfg = cfg or ci_config(load=0.7)
     return run_coflow_comparison(
         [Mode.PRIOPLUS, Mode.HPCC, Mode.PHYSICAL_IDEAL_NOCC], cfg
@@ -166,3 +166,8 @@ register(
         description="coflow speedups incl. HPCC and Physical* without CC",
     )
 )
+
+
+run_fig12ab = deprecated_alias(_run_fig12ab, "fig12")
+run_fig17 = deprecated_alias(_run_fig17, "fig17")
+run_fig18 = deprecated_alias(_run_fig18, "fig18")

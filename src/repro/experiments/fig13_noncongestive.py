@@ -24,7 +24,7 @@ from ..sim.switch import SwitchConfig
 from ..topology import star
 from ..transport.flow import Flow
 from ..transport.sender import FlowSender
-from .common import Experiment, Point, register
+from .common import Experiment, Point, deprecated_alias, register
 
 __all__ = ["run_fig13_point", "run_fig13"]
 
@@ -102,7 +102,7 @@ def run_fig13_point(
     return sum(gaps) / len(gaps)
 
 
-def run_fig13(
+def _run_fig13(
     tolerances_us: Sequence[float] = (10.0, 20.0, 30.0),
     ranges_us: Sequence[float] = (0.0, 8.0, 16.0, 24.0, 32.0, 40.0),
     rate: float = 10e9,
@@ -187,3 +187,6 @@ class Fig13Experiment(Experiment):
 
 
 register(Fig13Experiment())
+
+
+run_fig13 = deprecated_alias(_run_fig13, "fig13")

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from .common import Experiment, Mode, Point, register
+from .common import Experiment, Mode, Point, deprecated_alias, register
 from .flowsched import FlowSchedConfig, run_flowsched
 
 __all__ = ["run_fig16", "FIG16_MODES", "Fig16Experiment"]
@@ -23,7 +23,7 @@ __all__ = ["run_fig16", "FIG16_MODES", "Fig16Experiment"]
 FIG16_MODES = (Mode.PRIOPLUS, Mode.PRIOPLUS_SAME_ACK, Mode.HPCC)
 
 
-def run_fig16(
+def _run_fig16(
     n_priorities: int = 8,
     modes: Sequence[str] = FIG16_MODES,
     cfg: Optional[FlowSchedConfig] = None,
@@ -71,3 +71,6 @@ class Fig16Experiment(Experiment):
 
 
 register(Fig16Experiment())
+
+
+run_fig16 = deprecated_alias(_run_fig16, "fig16")

@@ -27,7 +27,7 @@ from ..sim.switch import SwitchConfig
 from ..topology import star
 from ..transport.flow import Flow
 from ..transport.sender import FlowSender
-from .common import FunctionExperiment, RateSampler, register, run_until_flows_done
+from .common import FunctionExperiment, RateSampler, deprecated_alias, register, run_until_flows_done
 
 __all__ = ["run_fig3a", "run_fig3b", "run_fig3c", "run_fig3d"]
 
@@ -44,7 +44,7 @@ def _star(sim: Simulator, n: int, ecn: bool = False, rate: float = _RATE):
     return star(sim, n, rate_bps=rate, link_delay_ns=_DELAY, switch_cfg=cfg)
 
 
-def run_fig3a(size_bytes: int = 2_000_000, rate: float = _RATE, seed: int = 1) -> Dict[str, float]:
+def _run_fig3a(size_bytes: int = 2_000_000, rate: float = _RATE, seed: int = 1) -> Dict[str, float]:
     """Two D2TCP flows, deadlines 1x and 2x ideal FCT."""
     sim = Simulator(seed)
     net, senders, recv = _star(sim, 2, ecn=True, rate=rate)
@@ -65,7 +65,7 @@ def run_fig3a(size_bytes: int = 2_000_000, rate: float = _RATE, seed: int = 1) -
     }
 
 
-def run_fig3b(
+def _run_fig3b(
     duration_ns: int = 4 * MILLISECOND, rate: float = _RATE, seed: int = 1
 ) -> Dict[str, float]:
     """Swift + target scaling, 2 hi (base+15us) vs 2 lo (base+5us) flows."""
@@ -91,7 +91,7 @@ def run_fig3b(
     }
 
 
-def run_fig3c(
+def _run_fig3c(
     n_low: int = 300,
     hi_start_ns: int = 2 * MILLISECOND,
     duration_ns: int = 4 * MILLISECOND,
@@ -123,7 +123,7 @@ def run_fig3c(
     return {"util_before_hi": util_before, "hi_share_after": hi_share_after}
 
 
-def run_fig3d(
+def _run_fig3d(
     lo_start_ns: int = 100 * MICROSECOND,
     hi_end_target_ns: int = 1 * MILLISECOND,
     duration_ns: int = 2 * MILLISECOND,
@@ -177,9 +177,15 @@ def run_fig3d(
 
 
 for _name, _fn, _desc in (
-    ("fig3a", run_fig3a, "two D2TCP flows, 1x vs 2x deadlines (Fig 1/3a)"),
-    ("fig3b", run_fig3b, "Swift + target scaling converges to weighted sharing"),
-    ("fig3c", run_fig3c, "Swift w/o scaling: underutilisation + hi-flow deceleration"),
-    ("fig3d", run_fig3d, "Swift w/o scaling: min-rate floor and slow reclaim"),
+    ("fig3a", _run_fig3a, "two D2TCP flows, 1x vs 2x deadlines (Fig 1/3a)"),
+    ("fig3b", _run_fig3b, "Swift + target scaling converges to weighted sharing"),
+    ("fig3c", _run_fig3c, "Swift w/o scaling: underutilisation + hi-flow deceleration"),
+    ("fig3d", _run_fig3d, "Swift w/o scaling: min-rate floor and slow reclaim"),
 ):
     register(FunctionExperiment(_name, {_name: (_fn, {"seed": 1})}, description=_desc))
+
+
+run_fig3a = deprecated_alias(_run_fig3a, "fig3a")
+run_fig3b = deprecated_alias(_run_fig3b, "fig3b")
+run_fig3c = deprecated_alias(_run_fig3c, "fig3c")
+run_fig3d = deprecated_alias(_run_fig3d, "fig3d")

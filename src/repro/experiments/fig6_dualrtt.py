@@ -18,7 +18,7 @@ from ..sim.switch import SwitchConfig
 from ..topology import star
 from ..transport.flow import Flow
 from ..transport.sender import FlowSender
-from .common import FunctionExperiment, register
+from .common import FunctionExperiment, deprecated_alias, register
 
 __all__ = ["run_fig6"]
 
@@ -36,7 +36,7 @@ class _FixedWindow(CongestionControl):
         pass
 
 
-def run_fig6(
+def _run_fig6(
     rate: float = 1e9,
     link_delay_ns: int = 10 * MICROSECOND,
     window_pkts: int = 12,
@@ -103,7 +103,10 @@ def run_fig6(
 register(
     FunctionExperiment(
         "fig6",
-        {"fig6": (run_fig6, {"seed": 1})},
+        {"fig6": (_run_fig6, {"seed": 1})},
         description="window increase shows up in the delay two RTTs later",
     )
 )
+
+
+run_fig6 = deprecated_alias(_run_fig6, "fig6")

@@ -24,14 +24,14 @@ from ..sim.switch import SwitchConfig
 from ..topology import star
 from ..transport.flow import Flow
 from ..transport.sender import FlowSender
-from .common import FunctionExperiment, Mode, RateSampler, register
+from .common import FunctionExperiment, Mode, RateSampler, deprecated_alias, register
 
 __all__ = ["run_fig8", "run_staircase"]
 
 _PRIORITIES = (3, 4, 5, 6)
 
 
-def run_fig8(
+def _run_fig8(
     mode: str = Mode.PRIOPLUS,
     rate: float = 10e9,
     stagger_ns: int = 4 * MILLISECOND,
@@ -166,12 +166,15 @@ register(
     FunctionExperiment(
         "fig8",
         {
-            "prioplus": (run_fig8, {"mode": Mode.PRIOPLUS, "stagger_ns": 2 * MILLISECOND, "seed": 1}),
+            "prioplus": (_run_fig8, {"mode": Mode.PRIOPLUS, "stagger_ns": 2 * MILLISECOND, "seed": 1}),
             "swift_targets": (
-                run_fig8,
+                _run_fig8,
                 {"mode": Mode.SWIFT_TARGETS, "stagger_ns": 2 * MILLISECOND, "seed": 1},
             ),
         },
         description="testbed staircase: takeover/reclaim latency, PrioPlus vs Swift targets",
     )
 )
+
+
+run_fig8 = deprecated_alias(_run_fig8, "fig8")

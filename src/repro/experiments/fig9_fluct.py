@@ -24,12 +24,12 @@ from ..sim.switch import SwitchConfig
 from ..topology import star
 from ..transport.flow import Flow
 from ..transport.sender import FlowSender
-from .common import DelaySampler, FunctionExperiment, Mode, register
+from .common import DelaySampler, FunctionExperiment, Mode, deprecated_alias, register
 
 __all__ = ["run_fig9"]
 
 
-def run_fig9(
+def _run_fig9(
     mode: str = Mode.PRIOPLUS,
     n_flows: int = 4,
     rate: float = 10e9,
@@ -98,9 +98,12 @@ register(
     FunctionExperiment(
         "fig9",
         {
-            "prioplus": (run_fig9, {"mode": Mode.PRIOPLUS, "seed": 1}),
-            "swift_targets": (run_fig9, {"mode": Mode.SWIFT_TARGETS, "seed": 1}),
+            "prioplus": (_run_fig9, {"mode": Mode.PRIOPLUS, "seed": 1}),
+            "swift_targets": (_run_fig9, {"mode": Mode.SWIFT_TARGETS, "seed": 1}),
         },
         description="delay-fluctuation management via flow-cardinality estimation",
     )
 )
+
+
+run_fig9 = deprecated_alias(_run_fig9, "fig9")

@@ -36,7 +36,7 @@ def bench_suite(quick: bool = False) -> List[Experiment]:
         run_filter_ablation,
     )
     from ..experiments.fig8_testbed import run_staircase
-    from ..experiments.fig10_micro import run_fig10c
+    from ..experiments.fig10_micro import _run_fig10c
 
     if quick:
         stair = dict(rate=10e9, stagger_ns=300_000, flows_per_prio=2, seed=1)
@@ -53,8 +53,8 @@ def bench_suite(quick: bool = False) -> List[Experiment]:
             FunctionExperiment(
                 "bench_fig10c_quick",
                 {
-                    "dual_rtt": (run_fig10c, dict(dual_rtt=True, **f10c)),
-                    "every_rtt": (run_fig10c, dict(dual_rtt=False, **f10c)),
+                    "dual_rtt": (_run_fig10c, dict(dual_rtt=True, **f10c)),
+                    "every_rtt": (_run_fig10c, dict(dual_rtt=False, **f10c)),
                 },
                 description="dual-RTT preemption, CI scale",
             ),

@@ -96,6 +96,38 @@ class ResultCache:
             return None
         return entry
 
+    def info(self) -> dict:
+        """Inspect the store: entry/byte counts, per experiment and total.
+
+        Powers ``repro.api.cache_info`` and the daemon's ``GET /v1/cache``
+        endpoint.  Cheap (one directory walk, no JSON parsing) so it is safe
+        to call from a serving hot path.
+        """
+        per_experiment: dict = {}
+        total_entries = 0
+        total_bytes = 0
+        for sub in sorted(self.root.iterdir() if self.root.is_dir() else []):
+            if not sub.is_dir():
+                continue
+            entries = 0
+            nbytes = 0
+            for entry in sub.glob("*.json"):
+                try:
+                    nbytes += entry.stat().st_size
+                except OSError:  # racing eviction/cleanup
+                    continue
+                entries += 1
+            if entries:
+                per_experiment[sub.name] = {"entries": entries, "bytes": nbytes}
+                total_entries += entries
+                total_bytes += nbytes
+        return {
+            "dir": str(self.root),
+            "entries": total_entries,
+            "bytes": total_bytes,
+            "experiments": per_experiment,
+        }
+
     def put(self, experiment_name: str, key: str, point, result) -> Path:
         """Atomically persist one point result; returns the entry path."""
         path = self._path(experiment_name, key)

@@ -1,12 +1,17 @@
 """Process-pool execution of experiment points with caching and retry.
 
-:func:`run_experiment` is the one entry point: it enumerates an
+:func:`run_experiment` is the one batch entry point: it enumerates an
 :class:`~repro.experiments.common.Experiment`'s points, satisfies what it can
 from the :class:`~repro.runner.cache.ResultCache`, fans the remainder out
 across ``jobs`` worker processes, retries pool crashes with bounded backoff,
 and reduces the per-point results in a deterministic order — so the reduced
 output is byte-identical no matter how many workers ran, which points were
 cached, or in what order they finished.
+
+The execution core (worker bootstrap, per-point execution, the crash-retrying
+:class:`~repro.runner.scheduler.WorkerFleet`) lives in
+:mod:`repro.runner.scheduler`; this module adds the batch orchestration, and
+:mod:`repro.serve` builds the long-running daemon on the same core.
 
 Determinism contract:
 
@@ -26,73 +31,18 @@ import concurrent.futures
 import json
 import sys
 import time
-from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Dict, List, Optional, Union
 
-from ..audit import audit_scope
 from ..experiments.common import Experiment, Point
 from ..faults.plan import FaultPlan, current_fault_plan, set_default_fault_plan
-from ..obs import (
-    set_default_inspector,
-    set_default_profiler,
-    set_default_sampler,
-    set_default_tracer,
-)
-from ..telemetry import current_recorder, set_default_recorder
+from ..telemetry import current_recorder
 from .cache import ResultCache, cache_key, json_safe
+from .scheduler import RunnerError, WorkerFleet, execute_point
 
 __all__ = ["RunnerError", "run_experiment"]
 
-
-class RunnerError(RuntimeError):
-    """A point failed, crashed past its retry budget, or was ill-defined."""
-
-
-def _worker_init(faults_dict: Optional[dict] = None) -> None:
-    # Workers never trace: the parent's recorder (inherited on fork) would
-    # otherwise collect per-child data nobody can read back, and point
-    # runners that embed telemetry would poison the result cache.  The same
-    # goes for every introspection default from repro.obs.
-    set_default_recorder(None)
-    set_default_tracer(None)
-    set_default_inspector(None)
-    set_default_sampler(None)
-    set_default_profiler(None)
-    # The fault plan crosses the process boundary as plain data (module-level
-    # defaults do not survive a spawn start method) and is re-armed by each
-    # point's Network.build_routes().
-    if faults_dict is not None:
-        set_default_fault_plan(FaultPlan.from_dict(faults_dict))
-
-
-def _execute_point(exp: Experiment, point: Point, audit_mode: Optional[str] = None) -> dict:
-    """Run one point, optionally under a fresh per-point auditor.
-
-    The audit report crosses the process boundary riding in the result dict
-    under ``"audit"``; :func:`run_experiment` pops it back out *before* the
-    result is normalized or cached, so cache entries stay audit-independent
-    (legitimate, because an audited simulation is byte-identical to an
-    unaudited one — pinned by the golden battery's ``--audit`` mode).
-    """
-    if audit_mode is None:
-        result = exp.run_point(point)
-    else:
-        # strict mode raises AuditError at the violation site (or from the
-        # end-of-scope finalize), failing the point like any other exception
-        with audit_scope(audit_mode) as aud:
-            result = exp.run_point(point)
-    if not isinstance(result, dict):
-        raise RunnerError(
-            f"{exp.name}:{point.name}: run_point must return a dict, "
-            f"got {type(result).__name__}"
-        )
-    # per-process observability never belongs in a cached simulation result
-    result.pop("telemetry", None)
-    result.pop("packet_traces", None)
-    result.pop("profile", None)
-    if audit_mode is not None:
-        result["audit"] = aud.report.to_dict()
-    return result
+# retained as aliases: these were importable from here before the scheduler split
+_execute_point = execute_point
 
 
 def _normalize(result: dict) -> dict:
@@ -113,19 +63,32 @@ class _Counters:
 
 
 def _progress_printer(exp_name: str, total: int) -> Callable[[str, str], None]:
+    """Per-point progress/ETA lines on stderr, safe for daemon contexts.
+
+    A detached or closed stderr (service under a supervisor, parent died,
+    pipe reader gone) must degrade to silence, not kill the run: the first
+    failing write disables all further output.
+    """
     t0 = time.monotonic()
     done = [0]
+    broken = [False]
 
     def tick(point_name: str, source: str) -> None:
         done[0] += 1
+        if broken[0]:
+            return
         elapsed = time.monotonic() - t0
         eta = elapsed / done[0] * (total - done[0])
-        print(
-            f"[runner] {exp_name} {done[0]}/{total} {point_name} ({source}) "
-            f"elapsed={elapsed:.1f}s eta={eta:.1f}s",
-            file=sys.stderr,
-            flush=True,
-        )
+        try:
+            print(
+                f"[runner] {exp_name} {done[0]}/{total} {point_name} ({source}) "
+                f"elapsed={elapsed:.1f}s eta={eta:.1f}s",
+                file=sys.stderr,
+                flush=True,
+            )
+        except (OSError, ValueError, AttributeError):
+            # BrokenPipeError/closed-file ValueError/stderr=None under pythonw
+            broken[0] = True
 
     return tick
 
@@ -141,56 +104,40 @@ def _run_parallel(
     faults_dict: Optional[dict] = None,
     audit_mode: Optional[str] = None,
 ) -> Dict[str, dict]:
-    """Fan ``points`` out over a process pool, rebuilding it on crashes.
+    """Fan ``points`` out over a one-shot :class:`WorkerFleet`.
 
-    Retry semantics are pool-grained: when a worker process dies (segfault,
-    OOM-kill, ``os._exit``), every not-yet-finished point of that generation
-    is requeued into the next pool, up to ``max_retries`` rebuilds with
-    exponential backoff.  Points that raise an ordinary exception fail the
-    run immediately — a deterministic error will not succeed on retry.
+    Retry semantics are the fleet's: when a worker process dies (segfault,
+    OOM-kill, ``os._exit``), the pool is rebuilt and each affected point is
+    resubmitted with exponential backoff, up to ``max_retries`` times per
+    point.  Points that raise an ordinary exception fail the run
+    immediately — a deterministic error will not succeed on retry.
     """
-    remaining: Dict[str, Point] = {p.name: p for p in points}
+    fleet = WorkerFleet(
+        min(jobs, len(points)),
+        max_retries=max_retries,
+        retry_backoff_s=retry_backoff_s,
+        on_crash=lambda: counters.inc("runner.worker_crashes"),
+    )
     out: Dict[str, dict] = {}
-    rebuilds = 0
-    while remaining:
-        crashed = False
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=min(jobs, len(remaining)),
-            initializer=_worker_init,
-            initargs=(faults_dict,),
-        ) as pool:
-            futures = {
-                pool.submit(_execute_point, exp, p, audit_mode): p
-                for p in remaining.values()
-            }
-            for fut in concurrent.futures.as_completed(futures):
-                point = futures[fut]
-                try:
-                    result = fut.result()
-                except BrokenProcessPool:
-                    crashed = True
-                    continue
-                except RunnerError:
-                    raise
-                except Exception as exc:
-                    raise RunnerError(
-                        f"{exp.name}:{point.name} raised {type(exc).__name__}: {exc}"
-                    ) from exc
-                out[point.name] = result
-                del remaining[point.name]
-                counters.inc("runner.points_executed")
-                on_done(point.name, "run")
-        if remaining:
-            if not crashed:  # pragma: no cover - defensive
-                raise RunnerError(f"{exp.name}: pool finished with points unaccounted")
-            rebuilds += 1
-            counters.inc("runner.worker_crashes")
-            if rebuilds > max_retries:
+    try:
+        futures = {
+            fleet.submit(exp, p, audit_mode, faults_dict): p for p in points
+        }
+        for fut in concurrent.futures.as_completed(futures):
+            point = futures[fut]
+            try:
+                result = fut.result()
+            except RunnerError:
+                raise
+            except Exception as exc:
                 raise RunnerError(
-                    f"{exp.name}: worker pool crashed {rebuilds} times; giving up "
-                    f"on points {sorted(remaining)}"
-                )
-            time.sleep(retry_backoff_s * (2 ** (rebuilds - 1)))
+                    f"{exp.name}:{point.name} raised {type(exc).__name__}: {exc}"
+                ) from exc
+            out[point.name] = result
+            counters.inc("runner.points_executed")
+            on_done(point.name, "run")
+    finally:
+        fleet.shutdown(wait=True, cancel_futures=True)
     return out
 
 
@@ -220,17 +167,18 @@ def run_experiment(
         ``True`` prints per-point progress/ETA lines to stderr; a callable
         receives ``(point_name, source)`` with source ``"cache"``/``"run"``.
     max_retries / retry_backoff_s:
-        Worker-crash retry budget (see :func:`_run_parallel`).
+        Worker-crash retry budget (see :class:`~repro.runner.scheduler.WorkerFleet`).
     report:
         Optional dict filled in place with run statistics
         (``points``, ``cache_hits``, ``executed``, ``jobs``, ``wall_s``).
     faults:
         A :class:`~repro.faults.plan.FaultPlan` (or a path to its JSON)
-        applied to every point — installed as the process default so each
-        point's ``Network.build_routes()`` arms it, in workers and in the
-        serial path alike.  The plan enters every point's cache key, so
-        faulted and healthy runs never alias.  ``None`` inherits whatever
-        default plan is already installed (still cache-keyed).
+        applied to every point — shipped to workers as plain data and
+        installed for the duration of each point, so each point's
+        ``Network.build_routes()`` arms it, in workers and in the serial
+        path alike.  The plan enters every point's cache key, so faulted
+        and healthy runs never alias.  ``None`` inherits whatever default
+        plan is already installed (still cache-keyed).
     audit:
         ``"strict"`` or ``"warn"`` runs every *executed* point under a fresh
         :class:`repro.audit.Auditor` (in workers and the serial path alike)
@@ -287,22 +235,17 @@ def run_experiment(
     if pending:
         if jobs <= 1:
             fresh = {}
-            prev_plan = current_fault_plan()
-            set_default_fault_plan(plan)
-            try:
-                for p in pending:
-                    try:
-                        fresh[p.name] = _execute_point(exp, p, audit)
-                    except RunnerError:
-                        raise
-                    except Exception as exc:
-                        raise RunnerError(
-                            f"{exp.name}:{p.name} raised {type(exc).__name__}: {exc}"
-                        ) from exc
-                    counters.inc("runner.points_executed")
-                    on_done(p.name, "run")
-            finally:
-                set_default_fault_plan(prev_plan)
+            for p in pending:
+                try:
+                    fresh[p.name] = execute_point(exp, p, audit, faults_dict)
+                except RunnerError:
+                    raise
+                except Exception as exc:
+                    raise RunnerError(
+                        f"{exp.name}:{p.name} raised {type(exc).__name__}: {exc}"
+                    ) from exc
+                counters.inc("runner.points_executed")
+                on_done(p.name, "run")
         else:
             fresh = _run_parallel(
                 exp, pending, jobs, max_retries, retry_backoff_s, counters, on_done,

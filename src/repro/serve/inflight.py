@@ -1,0 +1,70 @@
+"""The in-flight dedupe table: one execution per content-addressed key.
+
+The daemon checks three layers before simulating a point, in order:
+
+1. the on-disk :class:`~repro.runner.cache.ResultCache` (results that
+   finished in any process, ever);
+2. this table (results currently being computed by *some* job in this
+   server process);
+3. the worker fleet (fresh execution).
+
+Two overlapping sweeps that share points therefore share point
+*executions*: the first claim for a key owns the execution and everyone
+else awaits the same future.  Keys are the runner's cache keys
+(``cache_key(experiment, point, extra={"faults": …})``), so dedupe
+follows exactly the same identity rules as the disk cache — including
+fault-plan isolation.
+
+Single-event-loop discipline: all methods must be called from the
+server's loop thread (the daemon is a plain asyncio program), which is
+what makes claim/release race-free without locks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Tuple
+
+__all__ = ["InflightTable"]
+
+
+class InflightTable:
+    """``key -> future`` of point results currently being computed."""
+
+    def __init__(self):
+        self._table: Dict[str, asyncio.Future] = {}
+        #: lifetime counters: ``claims`` counts first-owner registrations,
+        #: ``hits`` counts deduped followers (a point someone else is running)
+        self.claims = 0
+        self.hits = 0
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def claim(self, key: str) -> Tuple[asyncio.Future, bool]:
+        """Return ``(future, owner)`` for ``key``.
+
+        The first claimant becomes the *owner*: it must execute the point,
+        resolve the future with the **normalized** result (so followers see
+        exactly what the cache would have returned), and call
+        :meth:`release` when done — success or failure.  Followers just
+        await the future.
+        """
+        fut = self._table.get(key)
+        if fut is not None:
+            self.hits += 1
+            return fut, False
+        fut = asyncio.get_running_loop().create_future()
+        self._table[key] = fut
+        self.claims += 1
+        return fut, True
+
+    def release(self, key: str) -> None:
+        """Drop ``key`` from the table (owner-side, after resolving it).
+
+        Late followers that already hold the future keep it; new claimants
+        for the same key after release go to the disk cache (on success)
+        or re-execute (on failure) — a failed owner must not poison the
+        key forever.
+        """
+        self._table.pop(key, None)

@@ -1,0 +1,235 @@
+"""Versioned request/response schema for the experiment-serving daemon.
+
+Every payload that crosses the wire — submit requests, status snapshots,
+streamed progress events — is one of the dataclasses below, serialized as
+JSON and stamped with :data:`PROTOCOL_VERSION`.  Server, client, CLI and
+the runner all share these types (re-exported through :mod:`repro.api`),
+so the wire format is defined in exactly one place.
+
+Versioning contract:
+
+* every request and every response dict carries ``"version"``;
+* a peer that receives a version it does not speak MUST reject the payload
+  with :class:`ProtocolError` (the server maps it to HTTP 400 with an
+  ``"error"`` body) rather than guess at field semantics;
+* *unknown extra keys* are ignored on decode, so additive evolution within
+  a version is safe; removals or semantic changes bump the version.
+
+Streamed progress rides as JSONL (``application/x-ndjson``): one event
+object per line, ``"type"`` discriminated — ``accepted``, ``point``,
+``done``, ``error``.  The full event log of a job is replayable, which is
+what makes client reconnect (`GET /v1/stream?job=…&from=N`) lossless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "SubmitRequest",
+    "JobStatus",
+    "ServerStats",
+    "check_version",
+    "accepted_event",
+    "point_event",
+    "done_event",
+    "error_event",
+]
+
+#: the one protocol version this tree speaks
+PROTOCOL_VERSION = 1
+
+#: progress-event sources, in "how much work was saved" order
+SOURCES = ("cache", "inflight", "run")
+
+
+class ProtocolError(ValueError):
+    """A payload failed schema or version validation."""
+
+
+def check_version(payload: dict, what: str = "payload") -> None:
+    """Reject any payload whose ``version`` is not :data:`PROTOCOL_VERSION`."""
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"{what}: expected a JSON object, got {type(payload).__name__}")
+    version = payload.get("version")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"{what}: protocol version {version!r} not supported; "
+            f"this peer speaks version {PROTOCOL_VERSION}"
+        )
+
+
+@dataclass(frozen=True)
+class SubmitRequest:
+    """A request to run one registered experiment (all of its points).
+
+    ``faults`` is a :meth:`repro.faults.plan.FaultPlan.to_dict` payload (or
+    ``None``); it enters every point's cache key exactly as in the batch
+    runner, so faulted and healthy results never alias.  ``audit`` is
+    ``"strict"``/``"warn"``/``None`` with :func:`repro.runner.run_experiment`
+    semantics.  ``tag`` is an opaque client label echoed in status output.
+    """
+
+    experiment: str
+    quick: bool = False
+    faults: Optional[dict] = None
+    audit: Optional[str] = None
+    tag: str = ""
+    version: int = PROTOCOL_VERSION
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SubmitRequest":
+        check_version(payload, "submit request")
+        experiment = payload.get("experiment")
+        if not isinstance(experiment, str) or not experiment:
+            raise ProtocolError("submit request: 'experiment' must be a non-empty string")
+        audit = payload.get("audit")
+        if audit not in (None, "strict", "warn"):
+            raise ProtocolError(
+                f"submit request: audit must be 'strict', 'warn' or null, got {audit!r}"
+            )
+        faults = payload.get("faults")
+        if faults is not None and not isinstance(faults, dict):
+            raise ProtocolError("submit request: 'faults' must be a fault-plan object or null")
+        return cls(
+            experiment=experiment,
+            quick=bool(payload.get("quick", False)),
+            faults=faults,
+            audit=audit,
+            tag=str(payload.get("tag", "")),
+        )
+
+
+@dataclass(frozen=True)
+class JobStatus:
+    """Point-granular progress of one submitted job."""
+
+    job_id: str
+    experiment: str
+    state: str  # "running" | "done" | "error"
+    points_total: int
+    points_done: int
+    sources: Dict[str, int] = field(default_factory=dict)  # cache/inflight/run counts
+    tag: str = ""
+    wall_s: float = 0.0
+    error: Optional[str] = None
+    version: int = PROTOCOL_VERSION
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "JobStatus":
+        check_version(payload, "job status")
+        return cls(
+            job_id=str(payload["job_id"]),
+            experiment=str(payload["experiment"]),
+            state=str(payload["state"]),
+            points_total=int(payload["points_total"]),
+            points_done=int(payload["points_done"]),
+            sources={str(k): int(v) for k, v in dict(payload.get("sources", {})).items()},
+            tag=str(payload.get("tag", "")),
+            wall_s=float(payload.get("wall_s", 0.0)),
+            error=payload.get("error"),
+        )
+
+
+@dataclass(frozen=True)
+class ServerStats:
+    """Whole-server snapshot returned by ``GET /v1/status``."""
+
+    uptime_s: float
+    jobs_total: int
+    jobs_active: int
+    points_total: int
+    cache_hits: int
+    inflight_hits: int
+    executed: int
+    worker_crashes: int
+    fleet_jobs: int
+    workers: List[int] = field(default_factory=list)  # live worker PIDs
+    inflight_now: int = 0
+    cache_dir: Optional[str] = None
+    version: int = PROTOCOL_VERSION
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of requested points served without a fresh simulation."""
+        if self.points_total == 0:
+            return 0.0
+        return (self.cache_hits + self.inflight_hits) / self.points_total
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["hit_ratio"] = self.hit_ratio
+        return d
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ServerStats":
+        check_version(payload, "server stats")
+        return cls(
+            uptime_s=float(payload["uptime_s"]),
+            jobs_total=int(payload["jobs_total"]),
+            jobs_active=int(payload["jobs_active"]),
+            points_total=int(payload["points_total"]),
+            cache_hits=int(payload["cache_hits"]),
+            inflight_hits=int(payload["inflight_hits"]),
+            executed=int(payload["executed"]),
+            worker_crashes=int(payload["worker_crashes"]),
+            fleet_jobs=int(payload["fleet_jobs"]),
+            workers=[int(p) for p in payload.get("workers", [])],
+            inflight_now=int(payload.get("inflight_now", 0)),
+            cache_dir=payload.get("cache_dir"),
+        )
+
+
+# ----------------------------------------------------------------------
+# streamed progress events (JSONL lines; plain dicts, version-stamped)
+# ----------------------------------------------------------------------
+def accepted_event(job_id: str, experiment: str, points_total: int) -> dict:
+    return {
+        "type": "accepted",
+        "version": PROTOCOL_VERSION,
+        "job_id": job_id,
+        "experiment": experiment,
+        "points_total": points_total,
+    }
+
+
+def point_event(job_id: str, point: str, source: str, done: int, total: int) -> dict:
+    if source not in SOURCES:
+        raise ProtocolError(f"point event: unknown source {source!r}")
+    return {
+        "type": "point",
+        "version": PROTOCOL_VERSION,
+        "job_id": job_id,
+        "point": point,
+        "source": source,
+        "done": done,
+        "total": total,
+    }
+
+
+def done_event(job_id: str, result: dict, report: dict) -> dict:
+    return {
+        "type": "done",
+        "version": PROTOCOL_VERSION,
+        "job_id": job_id,
+        "result": result,
+        "report": report,
+    }
+
+
+def error_event(job_id: str, message: str) -> dict:
+    return {
+        "type": "error",
+        "version": PROTOCOL_VERSION,
+        "job_id": job_id,
+        "error": message,
+    }

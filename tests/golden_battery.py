@@ -31,7 +31,7 @@ from repro.experiments.ablations import (
     run_filter_ablation,
 )
 from repro.experiments.fig8_testbed import run_staircase
-from repro.experiments.fig10_micro import run_fig10c
+from repro.experiments.fig10_micro import _run_fig10c
 from repro.experiments.common import Mode
 from repro.experiments.quickstart import run_quickstart
 from repro.sim.engine import Simulator
@@ -197,7 +197,7 @@ BATTERY: List[Tuple[str, Callable[[], object]]] = [
     ),
     (
         "fig10c_dual_rtt",
-        lambda: run_fig10c(
+        lambda: _run_fig10c(
             dual_rtt=True, n_each=2, rate=10e9, duration_ns=1_200_000, hi_start_ns=200_000, seed=1
         ),
     ),

@@ -7,11 +7,11 @@ structure; the directional claims live in benchmarks/.
 import pytest
 
 from repro.experiments.common import CCFactory, Mode
-from repro.experiments.fig3_micro import run_fig3a, run_fig3b
-from repro.experiments.fig6_dualrtt import run_fig6
-from repro.experiments.fig8_testbed import run_fig8, run_staircase
-from repro.experiments.fig9_fluct import run_fig9
-from repro.experiments.fig10_micro import run_fig10b, run_fig10c
+from repro.experiments.fig3_micro import _run_fig3a, _run_fig3b
+from repro.experiments.fig6_dualrtt import _run_fig6
+from repro.experiments.fig8_testbed import _run_fig8, run_staircase
+from repro.experiments.fig9_fluct import _run_fig9
+from repro.experiments.fig10_micro import _run_fig10b, _run_fig10c
 from repro.experiments.fig13_noncongestive import run_fig13_point
 from repro.experiments.flowsched import FlowSchedConfig, run_flowsched, size_group_boundaries
 from repro.experiments.coflow_scenario import CoflowConfig, build_workload, run_coflow_mode
@@ -21,25 +21,25 @@ from repro.workloads import websearch
 
 
 def test_fig3a_smoke():
-    r = run_fig3a(size_bytes=200_000, rate=25e9)
+    r = _run_fig3a(size_bytes=200_000, rate=25e9)
     assert set(r) >= {"hi_fct_over_ideal", "lo_fct_over_ideal", "lo_share_during_hi"}
     assert r["hi_fct_over_ideal"] >= 1.0
 
 
 def test_fig3b_smoke():
-    r = run_fig3b(duration_ns=500_000, rate=25e9)
+    r = _run_fig3b(duration_ns=500_000, rate=25e9)
     assert 0 <= r["hi_share"] <= 1.1
     assert 0 <= r["lo_share"] <= 1.1
 
 
 def test_fig6_smoke():
-    r = run_fig6()
+    r = _run_fig6()
     assert 1.0 <= r["lag_rtts"] <= 3.0
 
 
 def test_fig8_rejects_unknown_mode():
     with pytest.raises(ValueError):
-        run_fig8(Mode.HPCC, stagger_ns=100_000)
+        _run_fig8(Mode.HPCC, stagger_ns=100_000)
 
 
 def test_staircase_structure():
@@ -50,19 +50,19 @@ def test_staircase_structure():
 
 
 def test_fig9_smoke():
-    r = run_fig9(Mode.PRIOPLUS, n_flows=2, duration_ns=1_000_000)
+    r = _run_fig9(Mode.PRIOPLUS, n_flows=2, duration_ns=1_000_000)
     assert 0 <= r["frac_below_limit"] <= 1
     assert r["d_limit_us"] > r["d_target_us"]
 
 
 def test_fig10b_smoke():
-    r = run_fig10b(n_flows=10, rate=10e9, duration_ns=800_000)
+    r = _run_fig10b(n_flows=10, rate=10e9, duration_ns=800_000)
     assert r["nflow_estimate"] >= 1
 
 
 def test_fig10c_smoke_both_arms():
     for dual in (True, False):
-        r = run_fig10c(dual, n_each=2, rate=10e9, duration_ns=1_200_000, hi_start_ns=200_000)
+        r = _run_fig10c(dual, n_each=2, rate=10e9, duration_ns=1_200_000, hi_start_ns=200_000)
         assert r["dual_rtt"] == dual
         assert r["hi_rate_mean_share"] > 0.3
 
@@ -162,3 +162,17 @@ def test_ecn_priority_smoke():
 
     r = run_ecn_priority(True, duration_ns=600_000)
     assert 0 <= r["hi_share"] <= 1.1
+
+
+def test_run_figx_wrappers_are_deprecated_but_working():
+    """The historical serial entry points warn and delegate to the same impl."""
+    import warnings
+
+    from repro.experiments.fig3_micro import run_fig3a
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        r = run_fig3a(size_bytes=200_000, rate=25e9)
+    assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+    assert "repro.api.run('fig3a')" in str(caught[0].message)
+    assert r == _run_fig3a(size_bytes=200_000, rate=25e9)

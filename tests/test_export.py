@@ -49,8 +49,8 @@ def test_flatten_result_nested():
 
 
 def test_flatten_then_export_real_experiment(tmp_path):
-    from repro.experiments.fig6_dualrtt import run_fig6
+    import repro.api as api
 
-    flat = flatten_result(run_fig6())
+    flat = flatten_result(api.run("fig6"))
     n = write_rows_csv([flat], tmp_path / "fig6.csv")
     assert n == 1

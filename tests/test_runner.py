@@ -22,7 +22,7 @@ from repro.experiments.common import (
     get_experiment,
 )
 from repro.experiments.fig8_testbed import run_staircase
-from repro.experiments.fig10_micro import run_fig10c
+from repro.experiments.fig10_micro import _run_fig10c
 from repro.experiments.quickstart import run_quickstart
 from repro.runner import ResultCache, RunnerError, cache_key, json_safe, run_experiment
 from repro.telemetry import Recorder, set_default_recorder
@@ -35,12 +35,12 @@ SMALL_FIG10C = FunctionExperiment(
     "small-fig10c",
     {
         "dual_rtt": (
-            run_fig10c,
+            _run_fig10c,
             {"dual_rtt": True, "n_each": 2, "rate": 10e9, "duration_ns": 1_200_000,
              "hi_start_ns": 200_000, "seed": 1},
         ),
         "every_rtt": (
-            run_fig10c,
+            _run_fig10c,
             {"dual_rtt": False, "n_each": 2, "rate": 10e9, "duration_ns": 1_200_000,
              "hi_start_ns": 200_000, "seed": 1},
         ),
@@ -277,3 +277,57 @@ def test_duplicate_point_names_rejected():
 
     with pytest.raises(RunnerError, match="duplicate point names"):
         run_experiment(Dup())
+
+
+# ----------------------------------------------------------------------
+# progress reporting: never let a broken terminal kill a run
+# ----------------------------------------------------------------------
+def test_progress_printer_survives_closed_stderr(monkeypatch):
+    import io
+    import sys
+
+    exp = FunctionExperiment(
+        "echo-progress", {"a": (_echo, {"x": 1, "seed": 0}), "b": (_echo, {"x": 2, "seed": 1})}
+    )
+    broken = io.StringIO()
+    broken.close()  # every write now raises ValueError, like a torn-down TTY
+    monkeypatch.setattr(sys, "stderr", broken)
+    result = run_experiment(exp, progress=True)
+    assert result["a"]["x"] == 1 and result["b"]["x"] == 2
+
+
+def test_progress_printer_survives_stderr_vanishing_mid_run(monkeypatch):
+    import sys
+
+    class _Flaky:
+        def __init__(self):
+            self.calls = 0
+
+        def write(self, *_):
+            self.calls += 1
+            raise OSError("gone")
+
+        def flush(self):
+            raise OSError("gone")
+
+    flaky = _Flaky()
+    monkeypatch.setattr(sys, "stderr", flaky)
+    exp = FunctionExperiment(
+        "echo-progress2", {"a": (_echo, {"x": 1, "seed": 0}), "b": (_echo, {"x": 2, "seed": 1})}
+    )
+    result = run_experiment(exp, progress=True)
+    assert result["a"]["x"] == 1
+    # after the first failed write the printer goes quiet instead of retrying
+    assert flaky.calls <= 2
+
+
+def test_progress_callback_receives_sources(tmp_path):
+    exp = FunctionExperiment(
+        "echo-progress3", {"a": (_echo, {"x": 1, "seed": 0}), "b": (_echo, {"x": 2, "seed": 1})}
+    )
+    seen = []
+    run_experiment(exp, cache=tmp_path / "c", progress=lambda p, s: seen.append((p, s)))
+    assert sorted(seen) == [("a", "run"), ("b", "run")]
+    seen.clear()
+    run_experiment(exp, cache=tmp_path / "c", progress=lambda p, s: seen.append((p, s)))
+    assert sorted(seen) == [("a", "cache"), ("b", "cache")]

@@ -1,0 +1,386 @@
+"""The serving daemon: protocol schema, dedupe, crash tolerance, reconnect.
+
+Each test boots a real :class:`BackgroundServer` on a unix socket in
+``tmp_path`` and talks to it through the public client — no mocked
+transport.  Custom experiments are registered into a private registry; their
+point functions are module-level so the fleet's forked workers can unpickle
+them by reference (same contract as ``tests/test_runner.py``).
+"""
+
+import json
+import os
+import socket
+import threading
+import time
+
+import pytest
+
+from repro import api
+from repro.client import ServeClient, ServeError, connect, parse_address
+from repro.experiments.common import ExperimentRegistry, FunctionExperiment
+from repro.runner import run_experiment
+from repro.serve import BackgroundServer
+from repro.serve.inflight import InflightTable
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    JobStatus,
+    ProtocolError,
+    ServerStats,
+    SubmitRequest,
+    check_version,
+    point_event,
+)
+
+
+# ----------------------------------------------------------------------
+# point functions (module-level: picklable by reference into workers)
+# ----------------------------------------------------------------------
+def _quick_point(value=1, seed=0):
+    return {"value": value, "seed": seed}
+
+
+def _slow_point(delay_s=0.5, seed=0):
+    time.sleep(delay_s)
+    return {"ok": True, "seed": seed}
+
+
+def _crash_once_point(marker="", seed=0):
+    if not os.path.exists(marker):
+        with open(marker, "w", encoding="utf-8") as fh:
+            fh.write("crashed")
+        os._exit(42)  # simulate a segfault/OOM-kill mid-request
+    return {"recovered": True}
+
+
+def _make_server(tmp_path, experiments=(), cache=True, **kwargs):
+    """A BackgroundServer on a unix socket, serving a private registry."""
+    registry = ExperimentRegistry()
+    for exp in experiments:
+        registry.register(exp)
+    return BackgroundServer(
+        unix_path=str(tmp_path / "serve.sock"),
+        jobs=2,
+        cache=str(tmp_path / "cache") if cache else None,
+        registry=registry,
+        retry_backoff_s=0.05,
+        **kwargs,
+    )
+
+
+# ----------------------------------------------------------------------
+# protocol schema: round-trip + version rejection
+# ----------------------------------------------------------------------
+def test_submit_request_round_trip():
+    req = SubmitRequest(
+        experiment="fig6", quick=True, faults={"seed": 7, "faults": []},
+        audit="warn", tag="t1",
+    )
+    decoded = SubmitRequest.from_dict(json.loads(json.dumps(req.to_dict())))
+    assert decoded == req
+    assert decoded.version == PROTOCOL_VERSION
+
+
+def test_status_round_trip():
+    status = JobStatus(
+        job_id="job-000001", experiment="fig6", state="done",
+        points_total=3, points_done=3,
+        sources={"cache": 1, "inflight": 0, "run": 2}, tag="x", wall_s=1.5,
+    )
+    assert JobStatus.from_dict(json.loads(json.dumps(status.to_dict()))) == status
+
+    stats = ServerStats(
+        uptime_s=10.0, jobs_total=2, jobs_active=0, points_total=4,
+        cache_hits=1, inflight_hits=1, executed=2, worker_crashes=0,
+        fleet_jobs=2, workers=[1, 2], inflight_now=0, cache_dir="/tmp/c",
+    )
+    decoded = ServerStats.from_dict(json.loads(json.dumps(stats.to_dict())))
+    assert decoded == stats
+    assert decoded.hit_ratio == 0.5
+
+
+def test_unknown_extra_keys_are_ignored():
+    payload = SubmitRequest(experiment="fig6").to_dict()
+    payload["future_field"] = {"anything": 1}
+    assert SubmitRequest.from_dict(payload).experiment == "fig6"
+
+
+def test_wrong_version_rejected_locally():
+    payload = SubmitRequest(experiment="fig6").to_dict()
+    payload["version"] = 999
+    with pytest.raises(ProtocolError, match="version 999"):
+        SubmitRequest.from_dict(payload)
+    with pytest.raises(ProtocolError, match="version"):
+        check_version({"no": "version"})
+
+
+def test_invalid_submit_fields_rejected():
+    base = SubmitRequest(experiment="fig6").to_dict()
+    for corrupt in (
+        {**base, "experiment": ""},
+        {**base, "audit": "loud"},
+        {**base, "faults": "not-a-plan"},
+    ):
+        with pytest.raises(ProtocolError):
+            SubmitRequest.from_dict(corrupt)
+
+
+def test_point_event_rejects_unknown_source():
+    with pytest.raises(ProtocolError, match="source"):
+        point_event("job-1", "p", "telepathy", 1, 1)
+
+
+def test_parse_address_forms():
+    assert parse_address("/tmp/x.sock") == (socket.AF_UNIX, "/tmp/x.sock")
+    assert parse_address("unix:/tmp/x.sock") == (socket.AF_UNIX, "/tmp/x.sock")
+    assert parse_address("127.0.0.1:8642") == (socket.AF_INET, ("127.0.0.1", 8642))
+    assert parse_address(":8642") == (socket.AF_INET, ("127.0.0.1", 8642))
+    with pytest.raises(ValueError):
+        parse_address("no-port-no-path")
+
+
+def test_wrong_version_rejected_by_server(tmp_path):
+    exp = FunctionExperiment("tiny", {"p": (_quick_point, {"seed": 0})})
+    with _make_server(tmp_path, [exp]) as srv:
+        client = ServeClient(srv.address)
+        payload = SubmitRequest(experiment="tiny").to_dict()
+        payload["version"] = 999
+        with pytest.raises(ServeError, match="version 999") as err:
+            client._request_json("POST", "/v1/submit", payload)
+        assert err.value.status == 400
+
+
+# ----------------------------------------------------------------------
+# basic serving: health, discovery, run, errors
+# ----------------------------------------------------------------------
+def test_health_and_connect(tmp_path):
+    with _make_server(tmp_path, []) as srv:
+        client = connect(srv.address)
+        assert client.health()["ok"] is True
+
+
+def test_run_and_result_and_status(tmp_path):
+    exp = FunctionExperiment(
+        "tiny", {"a": (_quick_point, {"value": 1, "seed": 0}),
+                 "b": (_quick_point, {"value": 2, "seed": 1})},
+    )
+    with _make_server(tmp_path, [exp]) as srv:
+        client = connect(srv.address)
+        assert list(client.experiments()) == ["tiny"]
+
+        seen = []
+        report = {}
+        result = client.run("tiny", on_progress=lambda p, s: seen.append((p, s)), report=report)
+        assert result == {"a": {"value": 1, "seed": 0}, "b": {"value": 2, "seed": 1}}
+        assert sorted(p for p, _ in seen) == ["a", "b"]
+        assert report["executed"] == 2 and report["points"] == 2
+
+        job_id = client.submit("tiny", tag="again")
+        status = client.job_status(job_id)
+        assert status.experiment == "tiny" and status.tag == "again"
+        result2 = client.result(job_id)
+        assert result2 == result
+
+        stats = client.server_status()
+        assert stats.points_total == 4 and stats.cache_hits >= 2
+
+
+def test_unknown_experiment_and_job_404(tmp_path):
+    with _make_server(tmp_path, []) as srv:
+        client = ServeClient(srv.address)
+        with pytest.raises(ServeError) as err:
+            client.submit("no-such-experiment")
+        assert err.value.status == 404
+        with pytest.raises(ServeError) as err:
+            client.job_status("job-999999")
+        assert err.value.status == 404
+
+
+def test_served_result_identical_to_local_runner(tmp_path):
+    """Acceptance: the daemon's result is byte-identical to run_experiment."""
+    with BackgroundServer(
+        unix_path=str(tmp_path / "serve.sock"), jobs=2, cache=str(tmp_path / "cache")
+    ) as srv:  # the real registry, with every paper experiment
+        remote = connect(srv.address).run("fig6", quick=True)
+    local = api.run("fig6", quick=True)
+    assert json.dumps(remote, sort_keys=True) == json.dumps(local, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# dedupe: cache fast path + in-flight sharing
+# ----------------------------------------------------------------------
+def test_cache_hit_fast_path(tmp_path):
+    exp = FunctionExperiment("tiny", {"p": (_quick_point, {"seed": 0})})
+    with _make_server(tmp_path, [exp]) as srv:
+        client = ServeClient(srv.address)
+        rep1, rep2 = {}, {}
+        r1 = client.run("tiny", report=rep1)
+        r2 = client.run("tiny", report=rep2)
+        assert r1 == r2
+        assert rep1["executed"] == 1 and rep1["cache_hits"] == 0
+        assert rep2["executed"] == 0 and rep2["cache_hits"] == 1
+        info = client.cache_info()
+        assert info["entries"] == 1 and "tiny" in info["experiments"]
+
+
+def test_concurrent_identical_sweeps_share_execution(tmp_path):
+    """Two overlapping identical sweeps must run each point exactly once."""
+    exp = FunctionExperiment("slow", {"p": (_slow_point, {"delay_s": 0.8, "seed": 0})})
+    with _make_server(tmp_path, [exp]) as srv:
+        client = ServeClient(srv.address)
+        results, reports = [None, None], [{}, {}]
+
+        def go(i):
+            results[i] = client.run("slow", report=reports[i])
+
+        threads = [threading.Thread(target=go, args=(i,)) for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert results[0] == results[1] == {"ok": True, "seed": 0}
+        executed = sum(r["executed"] for r in reports)
+        shared = sum(r["cache_hits"] + r["inflight_hits"] for r in reports)
+        assert executed == 1, f"point ran {executed} times across two sweeps"
+        assert shared == 1
+        stats = connect(srv.address).server_status()
+        assert stats.executed == 1 and stats.points_total == 2
+        assert stats.hit_ratio >= 0.5  # the acceptance threshold
+
+
+def test_inflight_table_claims_and_hits():
+    async def scenario():
+        table = InflightTable()
+        fut, owner = table.claim("k1")
+        assert owner and len(table) == 1
+        fut2, owner2 = table.claim("k1")
+        assert not owner2 and fut2 is fut
+        fut.set_result({"x": 1})
+        assert await fut2 == {"x": 1}
+        table.release("k1")
+        assert len(table) == 0 and table.hits == 1
+
+    import asyncio
+
+    asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# crash tolerance: a dying worker degrades, never fails the request
+# ----------------------------------------------------------------------
+def test_worker_crash_during_request_is_retried(tmp_path):
+    marker = str(tmp_path / "crashed_once")
+    exp = FunctionExperiment("crashy", {"p": (_crash_once_point, {"marker": marker, "seed": 0})})
+    with _make_server(tmp_path, [exp]) as srv:
+        client = ServeClient(srv.address)
+        result = client.run("crashy")
+        assert result == {"recovered": True}
+        assert os.path.exists(marker)
+        stats = connect(srv.address).server_status()
+        assert stats.worker_crashes >= 1
+        # the fleet rebuilt: the daemon still serves fresh work afterwards
+        assert client.run("crashy") == {"recovered": True}
+
+
+# ----------------------------------------------------------------------
+# streaming: replay, resume, reconnect
+# ----------------------------------------------------------------------
+def test_stream_replay_and_resume(tmp_path):
+    exp = FunctionExperiment(
+        "tiny", {"a": (_quick_point, {"value": 1, "seed": 0}),
+                 "b": (_quick_point, {"value": 2, "seed": 1})},
+    )
+    with _make_server(tmp_path, [exp]) as srv:
+        client = ServeClient(srv.address)
+        job_id = client.submit("tiny")
+        client.result(job_id)  # wait for completion
+
+        events = list(client.stream(job_id))
+        assert events[0]["type"] == "accepted"
+        assert [e["type"] for e in events].count("point") == 2
+        assert events[-1]["type"] == "done"
+
+        # resume from an offset: exactly the tail, terminal event included
+        tail = list(client.stream(job_id, start=len(events) - 2))
+        assert tail == events[-2:]
+
+
+def test_client_reconnect_mid_job(tmp_path):
+    """Dropping the streaming connection loses nothing: reattach and replay."""
+    exp = FunctionExperiment(
+        "slow2", {"a": (_slow_point, {"delay_s": 0.6, "seed": 0}),
+                  "b": (_slow_point, {"delay_s": 0.6, "seed": 1})},
+    )
+    with _make_server(tmp_path, [exp]) as srv:
+        client = ServeClient(srv.address)
+        job_id = client.submit("slow2")
+
+        # first connection: read only the accepted event, then drop the link
+        stream = client.stream(job_id)
+        first = next(stream)
+        assert first["type"] == "accepted"
+        stream.close()  # closes the underlying socket mid-job
+
+        # reconnect from the start: full replay, followed live to the end
+        events = list(client.stream(job_id, start=0))
+        assert events[0] == first
+        assert events[-1]["type"] == "done"
+        assert [e["type"] for e in events].count("point") == 2
+        assert client.result(job_id) == {
+            "a": {"ok": True, "seed": 0},
+            "b": {"ok": True, "seed": 1},
+        }
+
+
+def test_result_conflict_while_running(tmp_path):
+    exp = FunctionExperiment("slow3", {"p": (_slow_point, {"delay_s": 1.0, "seed": 0})})
+    with _make_server(tmp_path, [exp]) as srv:
+        client = ServeClient(srv.address)
+        job_id = client.submit("slow3")
+        with pytest.raises(ServeError) as err:
+            client.result(job_id, wait=False)
+        assert err.value.status == 409
+        assert client.result(job_id, wait=True) == {"ok": True, "seed": 0}
+
+
+def test_failed_job_is_reported_not_crashing_the_server(tmp_path):
+    exp = FunctionExperiment("raiser", {"p": (_raise_point, {"seed": 0})})
+    with _make_server(tmp_path, [exp]) as srv:
+        client = ServeClient(srv.address)
+        with pytest.raises(ServeError, match="ValueError"):
+            client.run("raiser")
+        # the daemon survives a failed job
+        assert connect(srv.address).health()["ok"] is True
+
+
+def _raise_point(seed=0):
+    raise ValueError("deterministic failure")
+
+
+# ----------------------------------------------------------------------
+# the repro.api facade
+# ----------------------------------------------------------------------
+def test_api_local_and_remote_agree(tmp_path):
+    exp = FunctionExperiment("tiny", {"p": (_quick_point, {"seed": 3})})
+    with _make_server(tmp_path, [exp]) as srv:
+        remote = api.run("tiny", server=srv.address)
+        assert remote == {"value": 1, "seed": 3}
+        assert api.experiments(server=srv.address) == ["tiny"]
+        job_id = api.submit("tiny", server=srv.address)
+        assert api.result(job_id, server=srv.address) == remote
+        stats = api.status(srv.address)
+        assert isinstance(stats, ServerStats)
+        info = api.cache_info(server=srv.address)
+        assert info["entries"] == 1
+
+
+def test_api_rejects_local_knobs_on_remote_runs(tmp_path):
+    with pytest.raises(ValueError, match="daemon"):
+        api.run("fig6", server="/tmp/nowhere.sock", jobs=4)
+    with pytest.raises(ValueError, match="registry name"):
+        api.run(FunctionExperiment("x", {"p": (_quick_point, {})}), server="/tmp/nowhere.sock")
+
+
+def test_api_local_run_matches_run_experiment():
+    exp = api.get_experiment("fig6", quick=True)
+    assert api.run("fig6", quick=True) == run_experiment(exp, jobs=1)
