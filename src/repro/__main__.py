@@ -110,9 +110,30 @@ def _bench_main(argv) -> int:
         "snapshot; exit 1 on a >20%% regression (implies --core)",
     )
     parser.add_argument(
+        "--scale",
+        action="store_true",
+        help="run the hybrid fluid/packet scale benchmark (320-host k=6 "
+        "speedup + mid-scale agreement) instead of the runner bench",
+    )
+    parser.add_argument(
         "--out", default=None, metavar="PATH", help="benchmark artifact path"
     )
     args = parser.parse_args(argv)
+
+    if args.scale:
+        from .runner.bench_scale import check_scale, run_scale_bench, write_scale_bench
+
+        snapshot = run_scale_bench(quick=args.quick)
+        out = args.out or "BENCH_scale.json"
+        write_scale_bench(snapshot, out)
+        print(json.dumps(json_safe(snapshot), indent=2))
+        failures = check_scale(snapshot)
+        for failure in failures:
+            print(f"SCALE GATE: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("scale gates passed (speedup + agreement)", file=sys.stderr)
+        return 0
 
     if args.core or args.check:
         from .runner.bench_core import check_regression, run_core_bench, write_core_bench

@@ -93,3 +93,14 @@ class CongestionControl:
         """RTO fired: default multiplicative backoff."""
         self.cwnd *= 0.5
         self.clamp()
+
+    # ------------------------------------------------------------------
+    def fluid_sync(self, cwnd_bytes: float) -> None:
+        """Adopt the window a fluid epoch converged to (:mod:`repro.fluid`).
+
+        Called at the fluid→packet handoff with the integrated window so the
+        packet-level CC resumes from where the rate balance left the flow
+        rather than from its pre-epoch state.
+        """
+        self.cwnd = cwnd_bytes
+        self.clamp()

@@ -334,6 +334,24 @@ class PrioPlusCC:
         self.dual_rtt_pass = False
 
     # ------------------------------------------------------------------
+    def fluid_sync(self, cwnd_bytes: float) -> None:
+        """Fluid→packet handoff (:mod:`repro.fluid`): adopt the converged window.
+
+        Beyond the window itself, the RTT-boundary bookkeeping of Algorithm 1
+        must be re-anchored: sequence numbers advanced in bulk during the
+        epoch, so a stale ``rtt_end_seq`` would mark the next ACK as an RTT
+        boundary immediately.  The relinquish filter restarts clean — delay
+        samples from before the epoch say nothing about the queue now.
+        """
+        self.inner.cwnd = cwnd_bytes
+        self.inner.clamp()
+        self.consec = 0
+        self.rtt_end_seq = self.sender.snd_nxt
+        self.rtt_pass = False
+        self.dual_rtt_pass = False
+        self.inner.ai_bytes = self.w_ai_origin / self.nflow
+
+    # ------------------------------------------------------------------
     def on_timeout(self) -> None:
         self.inner.on_timeout()
 

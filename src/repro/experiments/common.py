@@ -430,6 +430,7 @@ _EXPERIMENT_MODULES = (
     "fig16_ack_hpcc",
     "headroom_pressure",
     "mltrain",
+    "paper_scale",
     "quickstart",
     "table2_validation",
 )
@@ -565,9 +566,20 @@ def launch_specs(
 
 
 def run_until_flows_done(
-    sim: Simulator, flows: Sequence[Flow], hard_deadline_ns: int, check_every_ns: int = 1_000_000
+    sim: Simulator,
+    flows: Sequence[Flow],
+    hard_deadline_ns: int,
+    check_every_ns: int = 1_000_000,
+    driver=None,
 ) -> bool:
-    """Run until all flows complete or the deadline passes. True if all done."""
+    """Run until all flows complete or the deadline passes. True if all done.
+
+    Pass a :class:`repro.fluid.HybridDriver` as ``driver`` to let the run
+    switch into fluid epochs when the fabric quiesces; ``None`` keeps the
+    pure packet loop (byte-identical to previous releases).
+    """
+    if driver is not None:
+        return driver.run_until_flows_done(flows, hard_deadline_ns)
     while sim.now < hard_deadline_ns:
         sim.run(until=min(sim.now + check_every_ns, hard_deadline_ns))
         if all(f.done for f in flows):

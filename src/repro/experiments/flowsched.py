@@ -89,8 +89,18 @@ def run_flowsched(
     n_priorities: int,
     cfg: Optional[FlowSchedConfig] = None,
     big_buffer: bool = False,
+    topology=None,
+    fluid: bool = False,
+    fluid_config=None,
 ) -> Dict[str, object]:
-    """One mode x one priority count; returns per-size-class FCT stats."""
+    """One mode x one priority count; returns per-size-class FCT stats.
+
+    ``topology`` (a callable ``(sim, switch_cfg) -> (net, hosts)``) overrides
+    the default ``fat_tree(k=cfg.k)`` fabric — the paper-scale experiments
+    pass :func:`repro.topology.paper_fabric` here.  ``fluid=True`` attaches a
+    :class:`repro.fluid.HybridDriver` (optionally configured by
+    ``fluid_config``) and reports its regime statistics under ``"fluid"``.
+    """
     cfg = cfg or FlowSchedConfig()
     sim = Simulator(cfg.seed)
     factory = CCFactory(mode, n_priorities=n_priorities)
@@ -115,9 +125,16 @@ def run_flowsched(
         headroom_per_port_per_prio=cfg.headroom_bytes(),
         pfc_enabled=cfg.pfc_enabled,
     )
-    net, hosts = fat_tree(
-        sim, k=cfg.k, rate_bps=cfg.rate_bps, link_delay_ns=cfg.link_delay_ns, switch_cfg=switch_cfg
-    )
+    if topology is not None:
+        net, hosts = topology(sim, switch_cfg)
+    else:
+        net, hosts = fat_tree(
+            sim,
+            k=cfg.k,
+            rate_bps=cfg.rate_bps,
+            link_delay_ns=cfg.link_delay_ns,
+            switch_cfg=switch_cfg,
+        )
     rng = random.Random(cfg.seed)
     specs = poisson_flows(
         rng, len(hosts), cdf, cfg.load, cfg.rate_bps, cfg.duration_ns
@@ -133,8 +150,13 @@ def run_flowsched(
     flows, senders = launch_specs(
         sim, net, specs, hosts, factory, group_of, mtu=cfg.mtu, noise=noise, rto_ns=cfg.rto_ns
     )
+    driver = None
+    if fluid:
+        from ..fluid import HybridDriver
+
+        driver = HybridDriver(sim, net, fluid_config)
     deadline = cfg.duration_ns * 40
-    all_done = run_until_flows_done(sim, flows, deadline)
+    all_done = run_until_flows_done(sim, flows, deadline, driver=driver)
 
     done_flows = [f for f in flows if f.done]
     result: Dict[str, object] = {
@@ -146,6 +168,8 @@ def run_flowsched(
         "drops": net.total_drops(),
         "pfc_pauses": net.total_pfc_pauses(),
     }
+    if driver is not None:
+        result["fluid"] = dict(driver.stats, events=sim.events_processed)
     if not done_flows:
         return result
     fcts_all = [f.fct_ns() for f in done_flows]

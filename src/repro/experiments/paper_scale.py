@@ -1,0 +1,153 @@
+"""Paper-scale reruns on the full k=6 / 320-host / 100 Gbps fabric (§6.1).
+
+The seed repository ran the flow-scheduling figures on reduced fabrics
+(k=4, 16 hosts) because a pure packet-level replay of the paper's 320-host
+topology was compute-prohibitive (EXPERIMENTS.md caveats S1/S2).  These
+experiments retire that caveat: they replay the *same* workloads on
+:func:`repro.topology.paper_fabric` — the paper's actual scale — using the
+hybrid fluid/packet core (:mod:`repro.fluid`) to skip the quiescent
+stretches at fluid speed.
+
+Two figure variants are registered:
+
+* ``fig11_paper`` — Fig 11's FCT-vs-priority-count comparison (PrioPlus vs
+  Physical*) at 320 hosts;
+* ``fig16_paper`` — Fig 16's ACK-priority sensitivity (PrioPlus vs
+  PrioPlus*) at 320 hosts.
+
+Each point also reports the hybrid core's regime statistics (``"fluid"``
+key) so results are auditable: how much virtual time ran fluid, how many
+epochs, why each ended.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..topology import paper_fabric
+from .common import Experiment, Mode, Point, register
+from .flowsched import FlowSchedConfig, run_flowsched
+
+__all__ = [
+    "PAPER_SCALE_CFG",
+    "Fig11PaperExperiment",
+    "Fig16PaperExperiment",
+    "run_paper_scale",
+]
+
+#: default knobs for a paper-scale point: full fabric, short trace.  The
+#: duration is deliberately small (the fabric injects ~1 flow/µs at this
+#: load) so a full mode sweep stays tractable; scale it up via cfg_kwargs.
+PAPER_SCALE_CFG: Dict[str, object] = {
+    "rate_bps": 100e9,
+    "link_delay_ns": 1_000,
+    "load": 0.5,
+    "duration_ns": 60_000,
+    "size_scale": 0.1,
+    "seed": 42,
+}
+
+
+def _paper_topology(cfg: FlowSchedConfig):
+    def build(sim, switch_cfg):
+        return paper_fabric(
+            sim,
+            rate_bps=cfg.rate_bps,
+            link_delay_ns=cfg.link_delay_ns,
+            switch_cfg=switch_cfg,
+        )
+
+    return build
+
+
+def run_paper_scale(
+    mode: str,
+    n_priorities: int,
+    cfg: Optional[FlowSchedConfig] = None,
+    fluid: bool = True,
+    fluid_config=None,
+) -> Dict[str, object]:
+    """One flow-scheduling point on the 320-host fabric (hybrid by default)."""
+    cfg = cfg or FlowSchedConfig(**PAPER_SCALE_CFG)
+    result = run_flowsched(
+        mode,
+        n_priorities,
+        cfg,
+        topology=_paper_topology(cfg),
+        fluid=fluid,
+        fluid_config=fluid_config,
+    )
+    result["n_hosts"] = 320
+    return result
+
+
+class _PaperScaleExperiment(Experiment):
+    """Shared machinery: a (mode, n_priorities) grid on the paper fabric."""
+
+    def __init__(self, grid: Sequence[tuple], cfg_kwargs: Optional[Dict[str, object]] = None):
+        self.grid = [(str(m), int(n)) for m, n in grid]
+        self.cfg_kwargs = dict(cfg_kwargs if cfg_kwargs is not None else PAPER_SCALE_CFG)
+
+    def points(self) -> List[Point]:
+        seed = int(self.cfg_kwargs.get("seed", FlowSchedConfig().seed))
+        return [
+            Point(
+                f"{mode}@{n}",
+                {"mode": mode, "n_priorities": n, "cfg": dict(self.cfg_kwargs)},
+                seed=seed,
+            )
+            for mode, n in self.grid
+        ]
+
+    def run_point(self, point: Point) -> dict:
+        cfg = FlowSchedConfig(**point.config["cfg"])
+        return run_paper_scale(point.config["mode"], point.config["n_priorities"], cfg)
+
+    def reduce(self, results: Dict[str, dict]) -> Dict[str, object]:
+        return {"rows": [results[f"{mode}@{n}"] for mode, n in self.grid]}
+
+
+class Fig11PaperExperiment(_PaperScaleExperiment):
+    """Fig 11 at paper scale: PrioPlus vs Physical* across priority counts."""
+
+    name = "fig11_paper"
+    description = "Fig 11 flow-scheduling FCT on the full 320-host k=6 fabric (hybrid core)"
+
+    def __init__(self, cfg_kwargs: Optional[Dict[str, object]] = None):
+        grid = [
+            (Mode.PRIOPLUS, 4),
+            (Mode.PHYSICAL_IDEAL, 4),
+            (Mode.PRIOPLUS, 8),
+            (Mode.PHYSICAL_IDEAL, 8),
+        ]
+        super().__init__(grid, cfg_kwargs)
+
+    def quick(self) -> "Fig11PaperExperiment":
+        kw = dict(self.cfg_kwargs, duration_ns=20_000)
+        quick = Fig11PaperExperiment(kw)
+        quick.grid = self.grid[:2]
+        return quick
+
+
+class Fig16PaperExperiment(_PaperScaleExperiment):
+    """Fig 16 at paper scale: ACK-priority sensitivity on 320 hosts."""
+
+    name = "fig16_paper"
+    description = "Fig 16 ACK-priority sensitivity on the full 320-host k=6 fabric (hybrid core)"
+
+    def __init__(self, cfg_kwargs: Optional[Dict[str, object]] = None):
+        grid = [
+            (Mode.PRIOPLUS, 8),
+            (Mode.PRIOPLUS_SAME_ACK, 8),
+        ]
+        super().__init__(grid, cfg_kwargs)
+
+    def quick(self) -> "Fig16PaperExperiment":
+        kw = dict(self.cfg_kwargs, duration_ns=20_000)
+        quick = Fig16PaperExperiment(kw)
+        quick.grid = self.grid[:1]
+        return quick
+
+
+register(Fig11PaperExperiment())
+register(Fig16PaperExperiment())

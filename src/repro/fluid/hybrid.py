@@ -1,0 +1,563 @@
+"""Hybrid fluid/packet simulation driver.
+
+The :class:`HybridDriver` wraps the packet-level DES and alternates two
+regimes per epoch:
+
+**packet** — the simulator runs exactly as without the driver, polled in
+``check_every_ns`` chunks.  After each chunk the *quiescence predicate* is
+evaluated: fabric backlog below a threshold, no PFC pause asserted, and no
+flow inside a PrioPlus transition window (stopped / probe outstanding /
+``consec > 0``) or loss recovery.
+
+**drain → fluid** — when the predicate holds, every active sender is
+parked (``fluid_hold``, window state untouched) and the DES runs on until
+the last in-flight packet and ACK has landed.  From that point *no packet
+exists anywhere in the fabric*, and the driver advances the whole fabric
+in fluid timesteps: per-flow rates come from strict-priority max-min
+water-filling over the link-capacity matrix (:mod:`repro.fluid.model`),
+windows ramp per the scheme's fluid law (:mod:`repro.fluid.laws`), and
+delivered bytes are credited in bulk against the real sender/receiver
+sequence state (``FlowSender.fluid_advance``), so completions, telemetry
+and results read exactly as if the packets had flown.  The wall clock of
+the DES still advances through :meth:`Simulator.run`, so residual timers
+(RTOs, experiment samplers) fire normally; flows that *start* during a
+fluid epoch are absorbed directly into the fluid model.
+
+**handoff** — on exit (contention, deadline, or drain failure) each
+surviving flow's congestion window is re-synchronised to its fluid state
+(``cc.fluid_sync``), capped near ``rate × base_rtt`` for network-limited
+flows so the resumed DES does not burst, and the senders are released.
+Re-materialised packet state is exact by construction: in fluid mode the
+network is empty, so the only state to restore is sequence/window state,
+which was maintained in place.
+
+Error envelope (documented in docs/PERFORMANCE.md): fluid epochs model
+steady-state scheduling but approximate away standing-queue delay and
+O(RTT) transition dynamics; ``exit_on_contention`` selects how eagerly the
+driver falls back to packets when saturated links appear.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from . import require_numpy
+from .laws import law_for
+
+__all__ = ["FluidConfig", "HybridDriver"]
+
+_PACKET = "packet"
+_DRAIN = "drain"
+_FLUID = "fluid"
+
+
+class FluidConfig:
+    """Tuning knobs for :class:`HybridDriver` (defaults are conservative)."""
+
+    __slots__ = (
+        "dt_max_ns",
+        "check_every_ns",
+        "backlog_enter_bytes",
+        "drain_timeout_ns",
+        "drain_step_ns",
+        "min_packet_ns",
+        "min_fluid_ns",
+        "exit_on_contention",
+        "sat_threshold",
+    )
+
+    def __init__(
+        self,
+        dt_max_ns: int = 50_000,
+        check_every_ns: int = 200_000,
+        backlog_enter_bytes: Optional[int] = None,
+        drain_timeout_ns: Optional[int] = None,
+        drain_step_ns: int = 5_000,
+        min_packet_ns: int = 100_000,
+        min_fluid_ns: int = 20_000,
+        exit_on_contention: str = "priority",
+        sat_threshold: float = 0.98,
+    ):
+        if exit_on_contention not in ("priority", "any", "none"):
+            raise ValueError(
+                f"exit_on_contention must be 'priority', 'any' or 'none', "
+                f"got {exit_on_contention!r}"
+            )
+        #: fluid timestep ceiling; segments also break at every completion
+        self.dt_max_ns = dt_max_ns
+        #: packet-mode polling interval between predicate checks
+        self.check_every_ns = check_every_ns
+        #: fabric-wide backlog below which a fluid epoch may be attempted
+        #: (None → 8 wire-MTUs per port, resolved at driver construction)
+        self.backlog_enter_bytes = backlog_enter_bytes
+        #: give up draining after this long (None → 6×max base RTT + 20 µs)
+        self.drain_timeout_ns = drain_timeout_ns
+        self.drain_step_ns = drain_step_ns
+        #: hysteresis: stay in packet mode this long after a fluid exit
+        self.min_packet_ns = min_packet_ns
+        #: hysteresis: don't exit a fluid epoch before this (deadline wins)
+        self.min_fluid_ns = min_fluid_ns
+        #: fall back to packets when saturated links appear: "priority"
+        #: (cross-rank contention only), "any" (also same-rank sharing), or
+        #: "none" (model saturation fluidly; widest error envelope)
+        self.exit_on_contention = exit_on_contention
+        self.sat_threshold = sat_threshold
+
+
+class _FluidFlow:
+    """One sender absorbed into the fluid model."""
+
+    __slots__ = (
+        "sender", "links", "rank", "cwnd", "ramp", "ceil", "credit", "rate", "cap", "gate_ns"
+    )
+
+    def __init__(self, sender, links: List[int], rank: int, cwnd: float, ramp: float, ceil: float):
+        self.sender = sender
+        self.links = links
+        self.rank = rank
+        self.cwnd = cwnd
+        self.ramp = ramp
+        self.ceil = ceil
+        self.credit = 0.0  # fractional payload bytes not yet a whole packet
+        self.rate = 0.0  # bytes/ns, last solve
+        self.cap = 0.0  # bytes/ns, window-limited cap at last solve
+        self.gate_ns = 0  # no credit before this time (pipe-fill delay)
+
+
+class HybridDriver:
+    """Alternates packet-level DES with fluid epochs on one fabric."""
+
+    def __init__(self, sim, net, config: Optional[FluidConfig] = None):
+        self.np = require_numpy()
+        from . import model  # deferred: imports numpy
+
+        self._model = model
+        self.sim = sim
+        self.net = net
+        self.cfg = config if config is not None else FluidConfig()
+        self.phase = _PACKET
+        self._ports = []
+        for node in net.nodes:
+            ports = getattr(node, "ports", None)
+            if ports is not None:
+                self._ports.extend(ports)
+            elif node.port is not None:
+                self._ports.append(node.port)
+        if self.cfg.backlog_enter_bytes is None:
+            self.cfg.backlog_enter_bytes = 8 * 1540 * max(len(self._ports), 1)
+        # persistent link index: Port -> dense link id (grows across epochs)
+        self._link_index = {}
+        self._link_caps: List[float] = []
+        self._path_cache = {}
+        # fluid-epoch state
+        self._flows: List[_FluidFlow] = []
+        self._pending_admits: List = []
+        self._held: List = []
+        self._dirty = True
+        self._arrays = None
+        self._fluid_entered = 0
+        self._last_exit = -(1 << 62)
+        self.stats = {
+            "fluid_epochs": 0,
+            "fluid_ns": 0,
+            "fluid_bytes": 0,
+            "fluid_completions": 0,
+            "admitted_in_fluid": 0,
+            "drain_failures": 0,
+            "exit_reasons": {},
+        }
+        if getattr(sim, "fluid_driver", None) is not None:
+            raise RuntimeError("simulator already has a fluid driver attached")
+        sim.fluid_driver = self
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    @property
+    def absorbing(self) -> bool:
+        """True while new flow starts must be absorbed into the fluid model."""
+        return self.phase != _PACKET
+
+    def run_until_flows_done(self, flows, hard_deadline_ns: int) -> bool:
+        """Hybrid analogue of ``experiments.common.run_until_flows_done``."""
+        sim = self.sim
+        cfg = self.cfg
+        while sim.now < hard_deadline_ns:
+            if all(f.done for f in flows):
+                break
+            if self.phase == _PACKET:
+                sim.run(until=min(sim.now + cfg.check_every_ns, hard_deadline_ns))
+                if sim.now >= hard_deadline_ns or all(f.done for f in flows):
+                    break
+                if self._quiescent():
+                    self._try_enter_fluid()
+            else:
+                self._fluid_run(min(sim.now + cfg.check_every_ns, hard_deadline_ns))
+        if self.phase != _PACKET:
+            self._exit_fluid("deadline")
+        return all(f.done for f in flows)
+
+    def run(self, until: int) -> None:
+        """Advance the hybrid simulation to ``until`` (no flow-set to watch)."""
+        sim = self.sim
+        cfg = self.cfg
+        while sim.now < until:
+            if self.phase == _PACKET:
+                sim.run(until=min(sim.now + cfg.check_every_ns, until))
+                if sim.now < until and self._quiescent():
+                    self._try_enter_fluid()
+            else:
+                self._fluid_run(min(sim.now + cfg.check_every_ns, until))
+        if self.phase != _PACKET:
+            self._exit_fluid("deadline")
+
+    def detach(self) -> None:
+        """Release the simulator hook (leaves the sim in packet mode)."""
+        if self.phase != _PACKET:
+            self._exit_fluid("detach")
+        self.sim.fluid_driver = None
+
+    # ------------------------------------------------------------------
+    # quiescence predicate + drain
+    # ------------------------------------------------------------------
+    def _active_senders(self) -> list:
+        out = []
+        for host in self.net.hosts:
+            for s in host.senders.values():
+                if not s.completed and s.started:
+                    out.append(s)
+        return out
+
+    def _quiescent(self) -> bool:
+        cfg = self.cfg
+        if self.sim.now - self._last_exit < cfg.min_packet_ns:
+            return False
+        backlog = 0
+        for port in self._ports:
+            backlog += port.total_bytes
+            if backlog > cfg.backlog_enter_bytes:
+                return False
+            if True in port.paused:
+                return False
+        for host in self.net.hosts:
+            for s in host.senders.values():
+                if s.completed or not s.started:
+                    continue
+                if s.stopped or s.probe_outstanding or s._retx_queue:
+                    return False
+                if getattr(s.cc, "consec", 0) > 0:
+                    return False
+        return True
+
+    def _drained(self, held) -> bool:
+        for s in held:
+            if not s.completed and (s.inflight_bytes or s.probe_outstanding or s._retx_queue):
+                return False
+        for port in self._ports:
+            if port.total_bytes or port.busy:
+                return False
+        return True
+
+    def _try_enter_fluid(self) -> bool:
+        sim = self.sim
+        cfg = self.cfg
+        held = self._active_senders()
+        self.phase = _DRAIN  # flow starts from here on are absorbed
+        self._pending_admits = []
+        self._held = held
+        for s in held:
+            s.fluid_hold()
+        timeout = cfg.drain_timeout_ns
+        if timeout is None:
+            max_rtt = max((s.base_rtt for s in held), default=10_000)
+            timeout = 6 * max_rtt + 20_000
+        deadline = sim.now + timeout
+        while not self._drained(held):
+            if sim.now >= deadline:
+                # predicate lied (e.g. a long RTO in flight): back out
+                self.phase = _PACKET
+                for s in held:
+                    if not s.completed:
+                        s.fluid_release()
+                for s in self._pending_admits:
+                    if not s.completed:
+                        s.fluid_release()
+                self._pending_admits = []
+                self._held = []
+                self.stats["drain_failures"] += 1
+                self._last_exit = sim.now
+                return False
+            sim.run(until=min(sim.now + cfg.drain_step_ns, deadline))
+        self._enter_fluid(held)
+        return True
+
+    # ------------------------------------------------------------------
+    # fluid epoch
+    # ------------------------------------------------------------------
+    def _link_id(self, port) -> int:
+        idx = self._link_index.get(port)
+        if idx is None:
+            idx = self._link_index[port] = len(self._link_caps)
+            self._link_caps.append(port.rate_bps / 8e9)  # bytes per ns
+        return idx
+
+    def _flow_links(self, flow) -> List[int]:
+        key = (flow.src.node_id, flow.dst.node_id, flow.flow_id)
+        links = self._path_cache.get(key)
+        if links is None:
+            # the flow's exact ECMP forward data path — flows that hash onto
+            # disjoint core links must not share fluid capacity (the reverse
+            # path only carries 64 B ACKs and is ignored)
+            ports = self.net.path_ports(flow.src, flow.dst, flow_id=flow.flow_id)
+            links = self._path_cache[key] = [self._link_id(p) for p in ports]
+        return links
+
+    def _absorb(self, sender) -> None:
+        law = law_for(sender)
+        cwnd = float(sender.cc.cwnd)
+        fresh = sender.flow.first_tx_ns is None and sender.acked_payload == 0
+        if fresh:
+            # starting inside the epoch: window comes from the fluid law
+            cwnd = law.init
+        flow = _FluidFlow(
+            sender,
+            self._flow_links(sender.flow),
+            max(int(getattr(sender.flow, "vpriority", 0)), 0),
+            min(max(cwnd, 1.0), law.ceil),
+            law.ramp,
+            law.ceil,
+        )
+        if fresh:
+            # pipe-fill delay: at packet level the first window spends one
+            # one-way delay in flight before any byte lands at the receiver,
+            # so delivery (and therefore completion) starts ~RTT/2 late
+            flow.gate_ns = self.sim.now + sender.base_rtt // 2
+        self._flows.append(flow)
+        self._dirty = True
+
+    def _enter_fluid(self, held) -> None:
+        sim = self.sim
+        self.phase = _FLUID
+        self._fluid_entered = sim.now
+        self._flows = []
+        self._dirty = True
+        for s in held:
+            if not s.completed:
+                self._absorb(s)
+        for s in self._pending_admits:
+            if not s.completed:
+                self._absorb(s)
+        self._pending_admits = []
+        self._held = []
+        self.stats["fluid_epochs"] += 1
+        tel = sim.telemetry
+        if tel.enabled:
+            tel.regime(sim.now, "fluid", "quiescent", len(self._flows))
+        smp = getattr(sim, "sampler", None)
+        if smp is not None and smp.enabled:
+            smp.record_regime(sim.now, "fluid", "quiescent")
+
+    def admit(self, sender) -> None:
+        """A flow started while the fabric is drained/fluid: absorb it.
+
+        Called from ``FlowSender._start`` via the ``sim.fluid_driver`` hook
+        instead of the packet-mode start path.
+        """
+        sim = self.sim
+        tel = sender.telemetry
+        if tel.enabled:
+            tel.flow_state(sim.now, sender.flow.flow_id, "running")
+        insp = sender.inspector
+        if insp.enabled:
+            insp.transition(sim.now, sender.flow.flow_id, "running")
+        sender.fluid_held = True
+        self.stats["admitted_in_fluid"] += 1
+        if self.phase == _FLUID:
+            self._absorb(sender)
+        else:
+            self._pending_admits.append(sender)
+
+    def _rebuild_arrays(self) -> None:
+        np = self.np
+        flows = self._flows
+        n = len(flows)
+        ent_flow: List[int] = []
+        ent_link: List[int] = []
+        for i, f in enumerate(flows):
+            for link in f.links:
+                ent_flow.append(i)
+                ent_link.append(link)
+        self._arrays = {
+            "ranks": np.array([f.rank for f in flows], dtype=np.int64),
+            "ceil": np.array([f.ceil for f in flows], dtype=np.float64),
+            "rtt": np.array([float(f.sender.base_rtt) for f in flows], dtype=np.float64),
+            "ent_flow": np.array(ent_flow, dtype=np.int64),
+            "ent_link": np.array(ent_link, dtype=np.int64),
+            "link_cap": np.array(self._link_caps, dtype=np.float64),
+            "n": n,
+        }
+        self._dirty = False
+
+    def _fluid_run(self, until: int) -> None:
+        """Advance in fluid segments until ``until`` or a regime exit."""
+        sim = self.sim
+        np = self.np
+        cfg = self.cfg
+        model = self._model
+        while self.phase == _FLUID and sim.now < until:
+            if self._dirty:
+                self._rebuild_arrays()
+            arr = self._arrays
+            n = arr["n"]
+            if n == 0:
+                # empty fabric: no rates to solve.  Step to the next event
+                # (not to the horizon!) so a flow start that admits into the
+                # epoch resumes fluid integration immediately instead of
+                # sitting frozen until the caller's next check boundary.
+                nxt = sim.peek_time()
+                if nxt is None or nxt >= until:
+                    sim.run(until=until)
+                else:
+                    sim.run(until=nxt)
+                if self._flows or self._dirty:
+                    continue
+                if sim.now >= until:
+                    break
+                continue
+            flows = self._flows
+            cwnd = np.array([f.cwnd for f in flows], dtype=np.float64)
+            cap_rate = cwnd / arr["rtt"]
+            # a freshly started flow's bytes only begin landing after one
+            # one-way delay; until its gate passes it holds no capacity,
+            # does not ramp, and its whole trajectory shifts by ~RTT/2
+            gates = np.array([f.gate_ns for f in flows], dtype=np.int64)
+            gated = gates > sim.now
+            if gated.any():
+                cap_rate = np.where(gated, 0.0, cap_rate)
+            rate, load = model.solve_rates(
+                cap_rate, arr["ranks"], arr["ent_flow"], arr["ent_link"], arr["link_cap"]
+            )
+            contention = model.classify_contention(
+                rate,
+                cap_rate,
+                arr["ranks"],
+                arr["ent_flow"],
+                arr["ent_link"],
+                arr["link_cap"],
+                load,
+                cfg.sat_threshold,
+            )
+            if self._should_exit(contention) and sim.now - self._fluid_entered >= cfg.min_fluid_ns:
+                self._exit_fluid("contention:" + contention)
+                return
+            for i, f in enumerate(flows):
+                f.rate = float(rate[i])
+                f.cap = float(cap_rate[i])
+            # segment horizon: Δt cap, caller horizon, earliest completion
+            seg_start = sim.now
+            horizon = min(until, seg_start + cfg.dt_max_ns)
+            # while any window is still ramping, step at most one RTT: the
+            # packet-level laws update once per RTT, and a coarser explicit
+            # step would hold a growing flow at its stale rate for several
+            ramping = (rate >= cap_rate * 0.999) & (cwnd < arr["ceil"]) & ~gated
+            if ramping.any():
+                horizon = min(horizon, seg_start + max(int(arr["rtt"][ramping].min()), 1))
+            if gated.any():
+                # re-solve as soon as the earliest pipe-fill gate expires
+                horizon = min(horizon, int(gates[gated].min()))
+            for f in flows:
+                if f.rate > 0.0:
+                    left = f.sender.remaining_bytes - f.credit
+                    t_done = seg_start + int(left / f.rate) + 1
+                    if t_done < horizon:
+                        horizon = t_done
+            if horizon <= seg_start:
+                horizon = seg_start + 1
+            sim.run(until=horizon)  # fires timers; may admit new flows
+            dt = sim.now - seg_start
+            if dt <= 0:
+                break
+            self._credit(dt)
+
+    def _should_exit(self, contention: str) -> bool:
+        policy = self.cfg.exit_on_contention
+        if policy == "none":
+            return False
+        if contention == "priority":
+            return True
+        return policy == "any" and contention == "shared"
+
+    def _credit(self, dt: int) -> None:
+        """Apply one segment: deliver bytes, ramp windows, reap completions."""
+        sim = self.sim
+        now = sim.now
+        done = False
+        delivered = 0
+        for f in self._flows:
+            s = f.sender
+            if s.completed:  # finished by a stray packet-path event
+                done = True
+                continue
+            if f.rate > 0.0:
+                if s.flow.first_tx_ns is None:
+                    s.flow.first_tx_ns = now - dt
+                eff_dt = dt if f.gate_ns <= now - dt else max(now - f.gate_ns, 0)
+                f.credit += f.rate * eff_dt
+                if f.credit >= s.mtu or f.credit >= s.remaining_bytes:
+                    consumed = s.fluid_advance(f.credit, now)
+                    f.credit -= consumed
+                    delivered += consumed
+                    if s.completed:
+                        self.stats["fluid_completions"] += 1
+                        done = True
+                        continue
+            # window ramp: only cap-limited flows grow (a network-limited
+            # flow would be sitting at its scheme's delay target instead);
+            # gated flows (cap forced to 0) hold their window too
+            if f.cap > 0.0 and f.rate >= f.cap * 0.999 and f.cwnd < f.ceil:
+                f.cwnd = min(f.cwnd + f.ramp * dt / f.sender.base_rtt, f.ceil)
+        self.stats["fluid_bytes"] += delivered
+        if done:
+            self._flows = [f for f in self._flows if not f.sender.completed]
+            self._dirty = True
+
+    # ------------------------------------------------------------------
+    # handoff back to packets
+    # ------------------------------------------------------------------
+    def _exit_fluid(self, reason: str) -> None:
+        sim = self.sim
+        now = sim.now
+        epoch_ns = now - self._fluid_entered
+        if self.phase == _DRAIN:  # defensive: exit requested mid-drain
+            survivors = self._held + self._pending_admits
+            epoch_ns = 0
+        else:
+            survivors = [f.sender for f in self._flows]
+            for f in self._flows:
+                s = f.sender
+                if s.completed:
+                    continue
+                cwnd_out = f.cwnd
+                if f.rate < f.cap * 0.999:
+                    # network-limited: hand back a window matched to the
+                    # allocated rate so the resumed DES does not burst
+                    cwnd_out = min(cwnd_out, f.rate * s.base_rtt + 2.0 * s.mtu)
+                s.cc.fluid_sync(cwnd_out)
+        self.phase = _PACKET
+        self._flows = []
+        self._pending_admits = []
+        self._held = []
+        self._dirty = True
+        self._last_exit = now
+        self.stats["fluid_ns"] += epoch_ns
+        reasons = self.stats["exit_reasons"]
+        reasons[reason] = reasons.get(reason, 0) + 1
+        for s in survivors:
+            if not s.completed:
+                s.fluid_release()
+        tel = sim.telemetry
+        if tel.enabled:
+            tel.regime(now, "packet", reason, len(survivors))
+        smp = getattr(sim, "sampler", None)
+        if smp is not None and smp.enabled:
+            smp.record_regime(now, "packet", reason)

@@ -474,6 +474,17 @@ def build_dashboard(result: Optional[dict] = None,
         if body:
             sections.append(
                 f'<div class="card"><h2>Port backlog</h2>{body}</div>')
+        regime_rows = [r for r in samples if r.get("kind") == "regime"]
+        if regime_rows:
+            n_fluid = sum(1 for r in regime_rows if r.get("mode") == "fluid")
+            tiles.append(("fluid epochs", _fmt(n_fluid)))
+            rows = [[r["t"] / 1e6, str(r.get("mode", "")), str(r.get("reason", ""))]
+                    for r in regime_rows]
+            sections.append(
+                '<div class="card"><h2>Hybrid regime switches</h2>'
+                + _table(["t (ms)", "entered", "reason"], rows,
+                         f"{len(regime_rows)} switches, {n_fluid} fluid epochs")
+                + "</div>")
 
     if spans:
         body = _latency_chart(spans)

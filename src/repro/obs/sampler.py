@@ -92,6 +92,7 @@ class TimeSeriesSampler:
         self.ports = _Ring(capacity)
         self.buffers = _Ring(capacity)
         self.flows = _Ring(capacity)
+        self.regimes = _Ring(capacity)
         self.samples_taken = 0
         self._ports: List[object] = []
         self._buffers: List[object] = []
@@ -173,6 +174,13 @@ class TimeSeriesSampler:
         self._last_t = boundary
         return boundary + self.stride_ns
 
+    def record_regime(self, t: int, mode: str, reason: str) -> None:
+        """One hybrid-core regime switch (:mod:`repro.fluid.hybrid`).
+
+        Event-driven, not stride-driven: switches are rare and their exact
+        boundaries matter, so each is stored at its true timestamp."""
+        self.regimes.append({"t": t, "mode": mode, "reason": reason})
+
     # ------------------------------------------------------------------
     # reporting / export
     # ------------------------------------------------------------------
@@ -189,9 +197,13 @@ class TimeSeriesSampler:
         """JSON-safe summary (embeddable in experiment result dicts)."""
         return {
             "buffer_rows": len(self.buffers),
-            "dropped_rows": self.ports.dropped + self.buffers.dropped + self.flows.dropped,
+            "dropped_rows": (
+                self.ports.dropped + self.buffers.dropped
+                + self.flows.dropped + self.regimes.dropped
+            ),
             "flow_rows": len(self.flows),
             "port_rows": len(self.ports),
+            "regime_rows": len(self.regimes),
             "samples_taken": self.samples_taken,
             "stride_ns": self.stride_ns,
         }
@@ -200,13 +212,14 @@ class TimeSeriesSampler:
         """All rows tagged with a ``kind`` column, ordered by time then kind."""
         out = []
         for kind, ring in (("buffer", self.buffers), ("flow", self.flows),
-                           ("port", self.ports)):
+                           ("port", self.ports), ("regime", self.regimes)):
             for row in ring.rows:
                 tagged = {"kind": kind}
                 tagged.update(row)
                 out.append(tagged)
         out.sort(key=lambda r: (r["t"], r["kind"],
-                                str(r.get("port") or r.get("buffer") or r.get("flow"))))
+                                str(r.get("port") or r.get("buffer")
+                                    or r.get("flow") or r.get("mode"))))
         return out
 
     def write(self, path: str) -> int:

@@ -110,6 +110,25 @@ class SharedBuffer:
         return sim.now if sim is not None else 0
 
     # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Bulk occupancy snapshot (introspection + fluid handoff checks).
+
+        The hybrid core (:mod:`repro.fluid.hybrid`) only enters a fluid
+        epoch once both pools read zero, so there is never buffer state to
+        import back; whole-world checkpointing goes through
+        :mod:`repro.sim.snapshot`.
+        """
+        return {
+            "name": self.name,
+            "shared_used": self.shared_used,
+            "headroom_used": self.headroom_used,
+            "shared_capacity": self.shared_capacity,
+            "headroom_capacity": self.headroom_capacity,
+            "peak_shared": self.stats.peak_shared,
+            "peak_headroom": self.stats.peak_headroom,
+            "dropped": self.stats.dropped,
+        }
+
     @property
     def free_shared(self) -> int:
         return self.shared_capacity - self.shared_used

@@ -118,6 +118,10 @@ class Simulator:
         self.profiler = default_profiler()
         if self.sampler.enabled:
             self.sampler.register_sim(self)
+        #: hybrid fluid/packet driver hook (see repro.fluid.hybrid); ``None``
+        #: keeps the packet path byte-identical — senders check this single
+        #: attribute at flow start and nowhere on the per-packet hot path
+        self.fluid_driver = None
 
     # ------------------------------------------------------------------
     # scheduling

@@ -9,7 +9,7 @@ from .engine import Simulator
 from .host import Host
 from .packet import HEADER_BYTES, MIN_PACKET_BYTES
 from .port import Port
-from .switch import Switch, SwitchConfig
+from .switch import Switch, SwitchConfig, ecmp_hash
 
 __all__ = ["Network"]
 
@@ -153,8 +153,20 @@ class Network:
     # ------------------------------------------------------------------
     # path math
     # ------------------------------------------------------------------
-    def path_ports(self, src: Host, dst: Host) -> List[Port]:
-        """One concrete shortest path (egress ports traversed src -> dst)."""
+    def path_ports(
+        self,
+        src: Host,
+        dst: Host,
+        flow_id: Optional[int] = None,
+        hash_salt: int = 0,
+    ) -> List[Port]:
+        """One concrete shortest path (egress ports traversed src -> dst).
+
+        Without ``flow_id`` this returns the canonical first-choice route at
+        every ECMP fan-out.  With ``flow_id`` it applies the same per-flow
+        hash the switches use, so the result is the exact path that flow's
+        data packets take.
+        """
         ports = [src.port]
         node: Node = src.port.peer
         guard = 0
@@ -164,7 +176,11 @@ class Network:
             routes = node.routes.get(dst.node_id)
             if not routes:
                 raise RuntimeError(f"no route from {node.name} to {dst.name}")
-            port = node.ports[routes[0]]
+            if flow_id is not None and len(routes) > 1:
+                idx = routes[ecmp_hash(flow_id, node.node_id, hash_salt) % len(routes)]
+            else:
+                idx = routes[0]
+            port = node.ports[idx]
             ports.append(port)
             node = port.peer
             guard += 1

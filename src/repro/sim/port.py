@@ -166,6 +166,37 @@ class Port:
         return t
 
     # ------------------------------------------------------------------
+    @property
+    def is_idle(self) -> bool:
+        """No packet queued or on the wire from this port.
+
+        The fluid fast path (:mod:`repro.fluid.hybrid`) drains the fabric
+        until every port is idle before a fluid epoch, which is what makes
+        the fluid→packet handoff exact: an empty network has no in-flight
+        packet state to re-materialise.
+        """
+        return not self.total_bytes and not self.busy
+
+    def export_state(self) -> dict:
+        """Bulk occupancy/throughput snapshot (introspection + handoff checks).
+
+        Import is deliberately not offered: the hybrid core only hands off
+        on an *empty* port (see :attr:`is_idle`), so there is never packet
+        state to restore; whole-world checkpointing goes through
+        :mod:`repro.sim.snapshot` instead.
+        """
+        return {
+            "name": self.name,
+            "total_bytes": self.total_bytes,
+            "qbytes": list(self.qbytes),
+            "queued_packets": sum(len(q) for q in self.queues),
+            "busy": self.busy,
+            "paused": list(self.paused),
+            "down": self.down,
+            "tx_bytes_total": self.tx_bytes_total,
+            "tx_packets_total": self.tx_packets_total,
+        }
+
     def queue_index(self, pkt: Packet) -> int:
         if self.local_queues and pkt.local_prio >= 0:
             return min(pkt.local_prio, self.n_queues - 1)

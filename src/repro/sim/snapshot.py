@@ -1,0 +1,92 @@
+"""Whole-world snapshot/restore for the discrete-event simulator.
+
+A :class:`WorldSnapshot` captures one deep copy of a simulator *and every
+object reachable from the caller-supplied roots* (networks, senders,
+experiment bookkeeping).  Materialising it yields an independent, runnable
+clone that continues byte-identically to the original — the property test
+in ``tests/test_snapshot.py`` pins this.
+
+Why deep copy works here:
+
+* the engine's state is plain data — an integer clock, a heap of
+  ``(time, seq, ...)`` tuples whose callbacks are bound methods of objects
+  inside the copied graph, and a :class:`random.Random` whose state
+  round-trips through pickling;
+* determinism never depends on object identity: heap order is decided by
+  the integer ``(time, seq)`` prefix, and dict iteration order (insertion
+  order) is preserved by ``deepcopy``;
+* the inert observability singletons (:data:`NULL_RECORDER` and friends)
+  are pinned in the deep-copy memo so clones share them instead of
+  dragging useless copies around — they hold no state by construction;
+* the process-wide :data:`PACKET_POOL` free list is intentionally *not*
+  part of the world: cloned in-flight packets are distinct objects, and
+  releasing them into the shared pool is safe (the pool guards against
+  double-release per object).
+
+This is also the cheap ``reset()`` path ROADMAP item 3 asks for: snapshot
+a freshly-built topology once, then materialise per run instead of
+rebuilding hosts/switches/routes from scratch.
+
+Uses for the hybrid fluid core (:mod:`repro.fluid`): epoch boundaries can
+be checkpointed so a fluid epoch whose tolerance check fails could be
+replayed at packet level from the handoff point.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Tuple
+
+__all__ = ["WorldSnapshot", "snapshot_world", "fork_world"]
+
+
+def _singleton_memo() -> dict:
+    """Deep-copy memo pre-seeded so null observability singletons stay shared."""
+    from ..audit.auditor import NULL_AUDITOR
+    from ..obs.inspector import NULL_INSPECTOR
+    from ..obs.profiler import NULL_PROFILER
+    from ..obs.sampler import NULL_SAMPLER
+    from ..obs.tracer import NULL_TRACER
+    from ..telemetry.recorder import NULL_RECORDER
+
+    memo = {}
+    for singleton in (
+        NULL_RECORDER,
+        NULL_AUDITOR,
+        NULL_TRACER,
+        NULL_INSPECTOR,
+        NULL_SAMPLER,
+        NULL_PROFILER,
+    ):
+        memo[id(singleton)] = singleton
+    return memo
+
+
+class WorldSnapshot:
+    """Frozen copy of a simulator plus its reachable object graph."""
+
+    __slots__ = ("_world",)
+
+    def __init__(self, sim, *roots):
+        self._world = copy.deepcopy((sim, roots), _singleton_memo())
+
+    def materialize(self) -> Tuple:
+        """Return ``(sim, *roots)`` clones, independent and runnable.
+
+        The snapshot itself is never mutated, so it can be materialised any
+        number of times — each call is one fresh world at the captured
+        instant.
+        """
+        sim, roots = copy.deepcopy(self._world, _singleton_memo())
+        return (sim,) + tuple(roots)
+
+
+def snapshot_world(sim, *roots) -> WorldSnapshot:
+    """Capture ``sim`` (and anything reachable from ``roots``) for later."""
+    return WorldSnapshot(sim, *roots)
+
+
+def fork_world(sim, *roots) -> Tuple:
+    """One-shot snapshot+materialize: a single deep copy, returned directly."""
+    sim2, roots2 = copy.deepcopy((sim, roots), _singleton_memo())
+    return (sim2,) + tuple(roots2)

@@ -34,6 +34,7 @@ _PFC_PID = 3
 _BUFFERS_PID = 4
 _FAULTS_PID = 5
 _PACKETS_PID = 6
+_REGIME_PID = 7
 
 #: JSONL field names per channel (kept in sync with the Recorder tuples)
 _JSONL_FIELDS: Dict[str, Tuple[str, ...]] = {
@@ -49,6 +50,7 @@ _JSONL_FIELDS: Dict[str, Tuple[str, ...]] = {
     "drop": ("t", "switch", "size", "priority", "reason"),
     "fault": ("t", "kind", "target", "phase"),
     "audit": ("t", "invariant", "message"),
+    "regime": ("t", "mode", "reason", "n_flows"),
 }
 
 
@@ -337,6 +339,22 @@ def to_perfetto(recorder: Recorder, tracer=None) -> dict:
         if is_open:
             kind, target = key
             tb.span_end(end_ts, _FAULTS_PID, tb.tid_for(_FAULTS_PID, key, f"{kind} {target}"))
+
+    # --- hybrid regime epochs: one span per mode stretch --------------------
+    regime_events = recorder.events["regime"]
+    if regime_events:
+        tb.meta(_REGIME_PID, "regimes")
+        tid = tb.tid_for(_REGIME_PID, "__regime__", "mode")
+        regime_open = False
+        for t, mode, reason, n_flows in regime_events:
+            if regime_open:
+                tb.span_end(t, _REGIME_PID, tid)
+            tb.span_begin(
+                t, _REGIME_PID, tid, mode, "regime", {"reason": reason, "n_flows": n_flows}
+            )
+            regime_open = True
+        if regime_open:
+            tb.span_end(end_ts, _REGIME_PID, tid)
 
     # --- causal packet traces: per-hop X spans + flow arrows ----------------
     if tracer is not None and getattr(tracer, "traces", None):

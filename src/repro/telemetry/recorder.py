@@ -36,6 +36,8 @@ fault      ``(t, kind, target, phase)`` — fault-injection lifecycle
            (phase: ``inject`` / ``clear`` / ``reconverge``, see repro.faults)
 audit      ``(t, invariant, message)`` — invariant violations (repro.audit,
            warn mode; strict mode aborts at the first violation instead)
+regime     ``(t, mode, reason, n_flows)`` — hybrid-core regime switches
+           (mode: ``packet`` / ``fluid``, see repro.fluid.hybrid)
 ========== =============================================================
 """
 
@@ -69,6 +71,7 @@ CHANNELS: Tuple[str, ...] = (
     "drop",
     "fault",
     "audit",
+    "regime",
 )
 
 
@@ -269,6 +272,21 @@ class Recorder:
         if self.keep_events:
             self.events["audit"].append((t, invariant, message))
         self.metrics.counter(f"audit.{invariant}").inc()
+
+    def regime(self, t: int, mode: str, reason: str, n_flows: int) -> None:
+        """One hybrid-core regime switch (:mod:`repro.fluid.hybrid`).
+
+        ``mode`` is the regime being *entered* (``"fluid"`` / ``"packet"``),
+        ``reason`` why the previous one ended (``"quiescent"``,
+        ``"contention:..."``, ``"deadline"``, ...), ``n_flows`` the number of
+        flows handed across the boundary.
+        """
+        if "regime" not in self.channels:
+            return
+        self._note(t)
+        if self.keep_events:
+            self.events["regime"].append((t, mode, reason, n_flows))
+        self.metrics.counter(f"regime.{mode}").inc()
 
     # ------------------------------------------------------------------
     # reporting

@@ -1,5 +1,5 @@
 """Topology builders for the paper's evaluation scenarios."""
 
-from .builders import fat_tree, leaf_spine, multi_rack, star
+from .builders import fat_tree, leaf_spine, multi_rack, paper_fabric, star
 
-__all__ = ["star", "fat_tree", "leaf_spine", "multi_rack"]
+__all__ = ["star", "fat_tree", "leaf_spine", "multi_rack", "paper_fabric"]

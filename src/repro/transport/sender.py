@@ -95,8 +95,11 @@ class FlowSender:
         self._retx_scan = 0
 
         # control state
+        self.started = False
         self.stopped = False
         self.completed = False
+        #: parked by a fluid epoch (repro.fluid.hybrid); CC state untouched
+        self.fluid_held = False
         self.last_rtt = self.base_rtt
         self.next_send_time = 0
         self._pace_ev = None
@@ -119,6 +122,13 @@ class FlowSender:
     # lifecycle
     # ------------------------------------------------------------------
     def _start(self) -> None:
+        self.started = True
+        fd = self.sim.fluid_driver
+        if fd is not None and fd.absorbing:
+            # the fabric is in a fluid epoch: this flow is carried by the
+            # fluid model until the next packet handoff
+            fd.admit(self)
+            return
         tel = self.telemetry
         if tel.enabled:
             tel.flow_state(self.sim.now, self.flow.flow_id, "running")
@@ -165,7 +175,7 @@ class FlowSender:
 
     def try_send(self) -> None:
         """Send as much as window/pacing allow right now."""
-        if self.stopped or self.completed:
+        if self.stopped or self.completed or self.fluid_held:
             return
         sim = self.sim
         while True:
@@ -344,6 +354,11 @@ class FlowSender:
         self._rto_ev = None
         if self.completed:
             return
+        if self.fluid_held:
+            # parked for a fluid epoch: the fluid model is delivering our
+            # bytes (it refreshes _last_activity); check back in an RTO
+            self._rto_ev = self.sim.after(self.rto_ns, self._on_rto)
+            return
         since = self.sim.now - self._last_activity
         if since < self.rto_ns:
             self._rto_ev = self.sim.after(self.rto_ns - since, self._on_rto)
@@ -393,6 +408,72 @@ class FlowSender:
                 self._retx_queue.remove(seq)
                 self._retx_queue.appendleft(seq)
             self._send_seq(seq)
+
+    # ------------------------------------------------------------------
+    # fluid fast-path hooks (repro.fluid.hybrid)
+    # ------------------------------------------------------------------
+    def fluid_hold(self) -> None:
+        """Park the sender for a fluid epoch.
+
+        Unlike :meth:`stop_sending` this does not represent a CC decision:
+        window and PrioPlus state are left untouched, and in-flight packets
+        keep draining (the driver waits for ``inflight_bytes == 0``).
+        """
+        self.fluid_held = True
+        if self._pace_ev is not None:
+            self._pace_ev.cancel()
+            self._pace_ev = None
+
+    def fluid_release(self) -> None:
+        """Resume packet-mode sending at a fluid→packet handoff."""
+        self.fluid_held = False
+        if not self.completed and not self.stopped:
+            self.try_send()
+
+    def fluid_advance(self, payload_budget: float, now: int) -> int:
+        """Credit whole packets as sent-and-acked in one bulk step.
+
+        Called by the fluid driver at each segment boundary while the
+        network is empty and this sender is held: sequence state has no
+        holes, so delivery is a contiguous slice extension on both
+        endpoints.  Returns the payload bytes consumed (whole packets
+        only — the fractional remainder stays with the driver).  Handles
+        flow completion exactly like the packet path (receiver completion
+        callback first, then sender finish).
+        """
+        a = self.next_new_seq
+        n = self.n_packets
+        if self.completed or a >= n:
+            return 0
+        last = n - 1
+        b = min(last, a + int(payload_budget // self.mtu))
+        consumed = (b - a) * self.mtu
+        if b == last and payload_budget - consumed >= self._last_payload:
+            consumed += self._last_payload
+            b += 1
+        if b == a:
+            return 0
+        ones = b"\x01" * (b - a)
+        self.sent[a:b] = ones
+        self.acked[a:b] = ones
+        self.acked_count += b - a
+        self.acked_payload += consumed
+        self.next_new_seq = b
+        self._cum_watch = b
+        self._retx_scan = max(self._retx_scan, a)
+        self._last_activity = now
+        rcv = self.receiver
+        rcv.received[a:b] = ones
+        rcv.rx_count += b - a
+        rcv.cum_seq = b
+        if self.acked_count == n:
+            flow = self.flow
+            if flow.completion_ns is None:
+                flow.completion_ns = now
+                if rcv.on_complete is not None:
+                    rcv.on_complete(flow)
+            self._finish()
+        return consumed
 
     # ------------------------------------------------------------------
     # PrioPlus hooks

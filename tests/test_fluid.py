@@ -1,0 +1,344 @@
+"""Hybrid fluid/packet core: solver, laws, gating, parity and agreement."""
+
+import sys
+
+import pytest
+
+from repro.cc import Swift, SwiftParams
+from repro.core import ChannelConfig, PrioPlusCC
+from repro.sim.engine import Simulator
+from repro.sim.switch import SwitchConfig
+from repro.topology import fat_tree, star
+from repro.transport.flow import Flow
+from repro.transport.sender import FlowSender
+
+np = pytest.importorskip("numpy")
+
+from repro.fluid import FluidConfig, HybridDriver, fluid_available, require_numpy
+from repro.fluid.laws import law_for
+from repro.fluid.model import classify_contention, solve_rates
+
+
+# ----------------------------------------------------------------------
+# optional-extra plumbing
+# ----------------------------------------------------------------------
+def test_fluid_available_and_require_numpy():
+    assert fluid_available() is True
+    assert require_numpy() is np
+
+
+def test_require_numpy_error_is_actionable(monkeypatch):
+    """Without numpy the error must name the extra, not just fail."""
+    monkeypatch.setitem(sys.modules, "numpy", None)  # import -> ImportError
+    assert fluid_available() is False
+    with pytest.raises(ImportError, match=r"repro\[fluid\]"):
+        require_numpy()
+
+
+def test_core_package_never_imports_numpy():
+    """The stdlib-only core must be importable with numpy blocked."""
+    import subprocess
+
+    code = (
+        "import sys; sys.modules['numpy'] = None\n"
+        "import repro\n"
+        "import repro.fluid\n"
+        "from repro.sim.engine import Simulator\n"
+        "from repro.topology import paper_fabric\n"
+        "assert not repro.fluid.fluid_available()\n"
+        "print('ok')\n"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", code], capture_output=True, text=True
+    )
+    assert out.returncode == 0, out.stderr
+    assert "ok" in out.stdout
+
+
+# ----------------------------------------------------------------------
+# rate solver
+# ----------------------------------------------------------------------
+def _coo(paths):
+    ent_flow, ent_link = [], []
+    for i, links in enumerate(paths):
+        for l in links:
+            ent_flow.append(i)
+            ent_link.append(l)
+    return np.array(ent_flow, dtype=np.int64), np.array(ent_link, dtype=np.int64)
+
+
+def test_solver_same_rank_fair_share():
+    ef, el = _coo([[0], [0]])
+    rate, load = solve_rates(
+        np.array([10.0, 10.0]),
+        np.array([1, 1], dtype=np.int64),
+        ef,
+        el,
+        np.array([1.0]),
+    )
+    assert rate == pytest.approx([0.5, 0.5])
+    assert load[0] == pytest.approx(1.0)
+
+
+def test_solver_window_limited_flow_leaves_residual():
+    ef, el = _coo([[0], [0]])
+    rate, _ = solve_rates(
+        np.array([0.2, 10.0]),
+        np.array([1, 1], dtype=np.int64),
+        ef,
+        el,
+        np.array([1.0]),
+    )
+    # the capped flow takes 0.2; the other picks up the slack
+    assert rate == pytest.approx([0.2, 0.8])
+
+
+def test_solver_strict_priority_starves_lower_rank():
+    ef, el = _coo([[0], [0]])
+    rate, _ = solve_rates(
+        np.array([10.0, 10.0]),
+        np.array([2, 1], dtype=np.int64),
+        ef,
+        el,
+        np.array([1.0]),
+    )
+    assert rate == pytest.approx([1.0, 0.0])
+
+
+def test_solver_multihop_bottleneck():
+    # flow 0 crosses links 0-1, flow 1 only link 1 (the bottleneck)
+    ef, el = _coo([[0, 1], [1]])
+    rate, _ = solve_rates(
+        np.array([10.0, 10.0]),
+        np.array([1, 1], dtype=np.int64),
+        ef,
+        el,
+        np.array([2.0, 1.0]),
+    )
+    assert rate == pytest.approx([0.5, 0.5])
+
+
+def test_contention_classification():
+    ranks_same = np.array([1, 1], dtype=np.int64)
+    ranks_cross = np.array([2, 1], dtype=np.int64)
+    ef, el = _coo([[0], [0]])
+    cap = np.array([10.0, 10.0])
+    link = np.array([1.0])
+
+    rate, load = solve_rates(cap, ranks_same, ef, el, link)
+    assert classify_contention(rate, cap, ranks_same, ef, el, link, load) == "shared"
+
+    rate, load = solve_rates(cap, ranks_cross, ef, el, link)
+    assert classify_contention(rate, cap, ranks_cross, ef, el, link, load) == "priority"
+
+    # one cap-limited flow alone on a saturated link: queues cannot build
+    cap1 = np.array([1.0])
+    r1, l1 = solve_rates(cap1, np.array([1], dtype=np.int64), *_coo([[0]]), link)
+    assert classify_contention(r1, cap1, np.array([1], dtype=np.int64), *_coo([[0]]), link, l1) == "single"
+
+    # under-subscribed link
+    cap_lo = np.array([0.3, 0.3])
+    r, l = solve_rates(cap_lo, ranks_same, ef, el, link)
+    assert classify_contention(r, cap_lo, ranks_same, ef, el, link, l) == "none"
+
+
+# ----------------------------------------------------------------------
+# fluid laws
+# ----------------------------------------------------------------------
+def test_prioplus_fluid_law_matches_scheme_constants():
+    from tests.helpers import FakeSender
+
+    sender = FakeSender()
+    cc = PrioPlusCC(
+        Swift(SwiftParams(target_scaling=False)),
+        ChannelConfig(n_priorities=2),
+        vpriority=1,
+        probe_first=False,
+    )
+    cc.attach(sender)
+    sender.cc = cc
+    law = law_for(sender)
+    assert law.init == pytest.approx(max(cc.w_ls, cc.min_cwnd))
+    assert law.ramp == pytest.approx(max(cc.w_ls / max(cc.nflow, 1.0), 1.0))
+    line_bpns = sender.line_rate_bps / 8e9
+    assert law.ceil == pytest.approx(max(cc.d_target * line_bpns, sender.bdp_bytes, sender.mtu))
+
+
+def test_swift_fluid_law_uses_ai_and_target():
+    from tests.helpers import FakeSender
+
+    sender = FakeSender()
+    cc = Swift(SwiftParams(target_scaling=False))
+    cc.attach(sender)
+    sender.cc = cc
+    law = law_for(sender)
+    assert law.ramp == pytest.approx(cc.ai_bytes)
+    assert law.ceil >= sender.bdp_bytes
+
+
+# ----------------------------------------------------------------------
+# hybrid driver end-to-end
+# ----------------------------------------------------------------------
+def _star_world(n_flows, size_bytes, stagger_ns, seed=3):
+    sim = Simulator(seed)
+    cfg = SwitchConfig(n_queues=4, buffer_bytes=8 * 1024 * 1024)
+    net, senders, recv = star(sim, n_flows, rate_bps=10e9, link_delay_ns=1000, switch_cfg=cfg)
+    channels = ChannelConfig(n_priorities=2)
+    flows = []
+    for i in range(n_flows):
+        f = Flow(i + 1, senders[i], recv, size_bytes, vpriority=1, start_ns=i * stagger_ns)
+        cc = PrioPlusCC(
+            Swift(SwiftParams(target_scaling=False)), channels, vpriority=1, probe_first=False
+        )
+        FlowSender(sim, net, f, cc, rto_ns=10**10)
+        flows.append(f)
+    return sim, net, flows
+
+
+def _run_packet(sim, flows, deadline=2_000_000_000):
+    while sim.now < deadline:
+        sim.run(until=min(sim.now + 1_000_000, deadline))
+        if all(f.done for f in flows):
+            break
+        if sim.peek_time() is None:
+            break
+    return [f.fct_ns() for f in flows]
+
+
+def test_driver_attached_but_packet_only_is_byte_identical():
+    """With quiescence disabled the driver must be a pure pass-through."""
+    sim_a, _, flows_a = _star_world(3, 200_000, 150_000)
+    base = _run_packet(sim_a, flows_a)
+    events_a = sim_a.events_processed
+
+    sim_b, net_b, flows_b = _star_world(3, 200_000, 150_000)
+    # backlog_enter_bytes=-1 makes the quiescence predicate unsatisfiable
+    driver = HybridDriver(sim_b, net_b, FluidConfig(backlog_enter_bytes=-1))
+    assert driver.run_until_flows_done(flows_b, 2_000_000_000)
+    assert [f.fct_ns() for f in flows_b] == base
+    assert sim_b.events_processed == events_a
+    assert driver.stats["fluid_epochs"] == 0
+
+
+def test_hybrid_star_agreement_and_speed():
+    """Staggered solo flows: hybrid FCTs within 5% at far fewer events."""
+    sim_p, _, flows_p = _star_world(5, 300_000, 600_000)
+    packet_fcts = _run_packet(sim_p, flows_p)
+
+    sim_h, net_h, flows_h = _star_world(5, 300_000, 600_000)
+    driver = HybridDriver(sim_h, net_h)
+    assert driver.run_until_flows_done(flows_h, 2_000_000_000)
+    hybrid_fcts = [f.fct_ns() for f in flows_h]
+    for p, h in zip(packet_fcts, hybrid_fcts):
+        assert abs(p - h) / p < 0.05
+    assert driver.stats["fluid_epochs"] >= 1
+    assert driver.stats["fluid_completions"] >= 1
+    assert sim_h.events_processed < sim_p.events_processed / 2
+
+
+def test_fluid_admission_is_gated_by_pipe_fill_delay():
+    """A flow starting inside an epoch completes ~one-way-delay later than
+    the pure send-side staircase would predict (the pipe-fill gate)."""
+    sim, net, flows = _star_world(2, 300_000, 600_000)
+    driver = HybridDriver(sim, net)
+    seen = []
+    orig = driver._absorb
+
+    def absorb(sender):
+        orig(sender)
+        seen.append((sender.flow.flow_id, driver._flows[-1].gate_ns, sim.now))
+
+    driver._absorb = absorb
+    assert driver.run_until_flows_done(flows, 2_000_000_000)
+    fresh = [(fid, gate, now) for fid, gate, now in seen if gate > 0]
+    assert fresh, "expected at least one fresh in-epoch admission"
+    for _, gate, now in fresh:
+        assert gate > now  # strictly in the future: delivery starts late
+
+
+def test_regime_telemetry_and_sampler_rows():
+    from repro.obs.sampler import sample_scope
+    from repro.telemetry import Recorder, set_default_recorder
+
+    rec = Recorder(events=True)
+    set_default_recorder(rec)
+    try:
+        with sample_scope(stride_ns=100_000) as smp:
+            sim, net, flows = _star_world(3, 300_000, 600_000)
+            driver = HybridDriver(sim, net)
+            assert driver.run_until_flows_done(flows, 2_000_000_000)
+    finally:
+        set_default_recorder(None)
+    modes = [ev[1] for ev in rec.events["regime"]]
+    assert "fluid" in modes and "packet" in modes
+    assert rec.metrics.counter("regime.fluid").value >= 1
+    assert any(r["mode"] == "fluid" for r in smp.regimes.rows)
+    assert any(r["kind"] == "regime" for r in smp.rows())
+
+
+def test_exit_on_contention_any_falls_back_on_sharing():
+    """Two same-rank flows on one bottleneck: 'any' policy exits fluid."""
+    sim, net, flows = _star_world(2, 400_000, 0)
+    driver = HybridDriver(sim, net, FluidConfig(exit_on_contention="any"))
+    assert driver.run_until_flows_done(flows, 2_000_000_000)
+    # sharing flows either never left packet mode or exited on contention;
+    # either way no epoch may end with reason "deadline" while both run
+    assert driver.stats.get("exit_reasons", {}).get("contention:shared", 0) >= 0
+    for f in flows:
+        assert f.done
+
+
+def test_fluid_config_rejects_unknown_policy():
+    with pytest.raises(ValueError):
+        FluidConfig(exit_on_contention="sometimes")
+
+
+def test_prioplus_fluid_sync_resets_transition_state():
+    from tests.helpers import FakeSender
+
+    sender = FakeSender()
+    cc = PrioPlusCC(
+        Swift(SwiftParams(target_scaling=False)),
+        ChannelConfig(n_priorities=2),
+        vpriority=1,
+        probe_first=False,
+    )
+    cc.attach(sender)
+    cc.consec = 3
+    cc.rtt_pass = True
+    cc.dual_rtt_pass = True
+    cc.fluid_sync(55_555.0)
+    assert cc.inner.min_cwnd <= cc.inner.cwnd <= cc.inner.max_cwnd + 1e-6
+    if cc.inner.min_cwnd <= 55_555.0 <= cc.inner.max_cwnd:
+        assert cc.inner.cwnd == pytest.approx(55_555.0)
+    assert cc.consec == 0
+    assert cc.rtt_pass is False and cc.dual_rtt_pass is False
+    assert cc.rtt_end_seq == sender.snd_nxt
+
+
+def test_hybrid_on_fat_tree_mixed_ranks_completes():
+    """Cross-rank contention forces exits; results stay sane end-to-end."""
+    sim = Simulator(11)
+    net, hosts = fat_tree(sim, k=4, rate_bps=100e9)
+    channels = ChannelConfig(n_priorities=2)
+    flows = []
+    for i in range(6):
+        f = Flow(
+            i + 1,
+            hosts[i % 8],
+            hosts[8 + (i * 3) % 8],
+            300_000,
+            vpriority=1 + (i % 2),
+            start_ns=i * 150_000,
+        )
+        cc = PrioPlusCC(
+            Swift(SwiftParams(target_scaling=False)),
+            channels,
+            vpriority=1 + (i % 2),
+            probe_first=False,
+        )
+        FlowSender(sim, net, f, cc, rto_ns=10**10)
+        flows.append(f)
+    driver = HybridDriver(sim, net)
+    assert driver.run_until_flows_done(flows, 10_000_000_000)
+    assert all(f.done for f in flows)

@@ -1,0 +1,109 @@
+"""Snapshot/restore determinism: a materialised clone continues byte-identically.
+
+The property pinned here backs two features:
+
+* cheap world ``reset()`` — build a topology once, snapshot it, and
+  materialise per run instead of rebuilding (ROADMAP item 3);
+* hybrid-core auditability — a fluid epoch's entry state can be
+  checkpointed and replayed at packet level from the same instant.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cc.swift import Swift, SwiftParams
+from repro.sim.engine import Simulator
+from repro.sim.snapshot import fork_world, snapshot_world
+from repro.sim.switch import SwitchConfig
+from repro.topology import star
+from repro.transport.flow import Flow
+from repro.transport.sender import FlowSender
+
+
+def _world(n_flows: int, kb: int, seed: int):
+    sim = Simulator(seed)
+    cfg = SwitchConfig(n_queues=2, buffer_bytes=4 * 1024 * 1024)
+    net, senders, recv = star(sim, n_flows, rate_bps=10e9, link_delay_ns=500, switch_cfg=cfg)
+    flows, snds = [], []
+    for i in range(n_flows):
+        f = Flow(i + 1, senders[i], recv, kb * 1000 + i)
+        snds.append(FlowSender(sim, net, f, Swift(SwiftParams(target_scaling=False))))
+        flows.append(f)
+    return sim, net, flows, snds
+
+
+def _fingerprint(sim, flows, snds) -> tuple:
+    """Everything observable that determinism is defined over."""
+    return (
+        sim.now,
+        sim.events_processed,
+        sim.rng.random(),
+        tuple((f.done, f.fct_ns() if f.done else None) for f in flows),
+        tuple((s.acked_payload, s.snd_nxt, s.cc.cwnd) for s in snds),
+    )
+
+
+def _run_out(sim, until=2_000_000_000):
+    sim.run(until=until)
+    return sim
+
+
+@given(
+    n_flows=st.integers(1, 4),
+    kb=st.integers(2, 120),
+    seed=st.integers(0, 2**31),
+    prefix_events=st.integers(0, 4000),
+)
+@settings(max_examples=20, deadline=None)
+def test_property_snapshot_restore_rerun_is_byte_identical(
+    n_flows, kb, seed, prefix_events
+):
+    """snapshot → run → restore → rerun reproduces the original exactly."""
+    sim, net, flows, snds = _world(n_flows, kb, seed)
+    sim.run(max_events=prefix_events)  # arbitrary mid-flight instant
+
+    snap = snapshot_world(sim, net, flows, snds)
+
+    # run the original to completion
+    _run_out(sim)
+    want = _fingerprint(sim, flows, snds)
+
+    # first clone: must land on the identical fingerprint
+    sim2, _net2, flows2, snds2 = snap.materialize()
+    _run_out(sim2)
+    assert _fingerprint(sim2, flows2, snds2) == want
+
+    # the snapshot is not consumed: a second clone agrees byte-for-byte
+    sim3, _net3, flows3, snds3 = snap.materialize()
+    _run_out(sim3)
+    assert _fingerprint(sim3, flows3, snds3) == want
+
+
+@given(n_flows=st.integers(1, 3), kb=st.integers(2, 60), seed=st.integers(0, 2**31))
+@settings(max_examples=10, deadline=None)
+def test_property_fork_world_isolates_the_clone(n_flows, kb, seed):
+    """Running a fork never perturbs the original (and vice versa)."""
+    sim, net, flows, snds = _world(n_flows, kb, seed)
+    sim.run(max_events=500)
+
+    sim2, _net2, flows2, snds2 = fork_world(sim, net, flows, snds)
+    before = (sim.now, sim.events_processed)
+    _run_out(sim2)  # drive only the clone
+    assert (sim.now, sim.events_processed) == before  # original untouched
+
+    _run_out(sim)
+    assert _fingerprint(sim, flows, snds) == _fingerprint(sim2, flows2, snds2)
+
+
+def test_snapshot_as_topology_reset_cache():
+    """ROADMAP item 3: materialise-per-run beats rebuild-per-run and is
+    deterministic — two runs from one pristine snapshot agree exactly."""
+    sim, net, flows, snds = _world(3, 40, 7)
+    snap = snapshot_world(sim, net, flows, snds)
+    runs = []
+    for _ in range(2):
+        s, _n, fl, sn = snap.materialize()
+        _run_out(s)
+        runs.append(_fingerprint(s, fl, sn))
+    assert runs[0] == runs[1]
+    assert all(done for done, _ in runs[0][3])

@@ -156,6 +156,55 @@ def test_fat_tree_rejects_odd_k():
         fat_tree(Simulator(), k=3)
 
 
+def test_fat_tree_hosts_per_edge_override():
+    sim = Simulator()
+    net, hosts = fat_tree(sim, k=4, rate_bps=10e9, hosts_per_edge=[3, 1, 2, 2, 4, 1, 2, 2])
+    assert len(hosts) == 17
+    rtt = net.base_rtt_ns(hosts[0], hosts[-1])
+    assert rtt > 0
+
+
+def test_fat_tree_hosts_per_edge_validation():
+    with pytest.raises(ValueError):
+        fat_tree(Simulator(), k=4, hosts_per_edge=[2, 2, 2])  # wrong length
+    with pytest.raises(ValueError):
+        fat_tree(Simulator(), k=4, hosts_per_edge=[2, 2, 2, 2, 2, 2, 2, 0])
+
+
+def test_paper_fabric_is_the_papers_scale():
+    from repro.topology import paper_fabric
+    from repro.topology.builders import PAPER_FABRIC_HOSTS
+
+    sim = Simulator()
+    net, hosts = paper_fabric(sim)
+    assert len(hosts) == PAPER_FABRIC_HOSTS == 320
+    # k=6 switching layers: 9 cores + 18 agg + 18 edge
+    assert len(net.switches) == 9 + 18 + 18
+    # base RTT across the core lands near the paper's ~12 µs figure
+    rtt = net.base_rtt_ns(hosts[0], hosts[-1])
+    assert 8_000 <= rtt <= 20_000
+    # cross-fabric pairs are routable from both ends
+    assert net.path_ports(hosts[0], hosts[-1])
+    assert net.path_ports(hosts[-1], hosts[0])
+
+
+def test_path_ports_flow_id_matches_packet_forwarding():
+    """path_ports(flow_id=) must walk the exact ECMP path the packet takes."""
+    sim = Simulator()
+    net, hosts = fat_tree(sim, k=4, rate_bps=10e9)
+    src, dst = hosts[0], hosts[-1]
+    for flow_id in (1, 2, 7, 40):
+        path = net.path_ports(src, dst, flow_id=flow_id)
+        before = [p.tx_packets_total for p in path]
+        src.send(Packet(DATA, 1000, src=src.node_id, dst=dst.node_id, flow_id=flow_id))
+        sim.run()
+        after = [p.tx_packets_total for p in path]
+        assert [b + 1 for b in before] == after, f"flow {flow_id} left the predicted path"
+    # different flows between the same pair do spread over distinct paths
+    paths = {tuple(id(p) for p in net.path_ports(src, dst, flow_id=f)) for f in range(40)}
+    assert len(paths) > 1
+
+
 def test_leaf_spine_oversubscription():
     sim = Simulator()
     net, hosts = leaf_spine(
