@@ -433,6 +433,7 @@ _EXPERIMENT_MODULES = (
     "paper_scale",
     "quickstart",
     "table2_validation",
+    "tune_channels",
 )
 
 

@@ -87,11 +87,11 @@ class _DcqcnFactory(CCFactory):
         return None
 
 
-def _factory(mode: str) -> CCFactory:
+def _factory(mode: str, channels=None) -> CCFactory:
     if mode == "dcqcn":
         return _DcqcnFactory(n_priorities=2)
     if mode in (Mode.PRIOPLUS, Mode.SWIFT_TARGETS):
-        return CCFactory(mode, n_priorities=2)
+        return CCFactory(mode, n_priorities=2, channels=channels)
     raise ValueError(f"fault experiments compare {FAULT_MODES}, got {mode!r}")
 
 
@@ -204,10 +204,15 @@ def run_fault_flap(
     rate: float = 10e9,
     flaps: int = 2,
     seed: int = 1,
+    channels=None,
 ) -> dict:
-    """One mode through the spine-flap scenario; see the module docstring."""
+    """One mode through the spine-flap scenario; see the module docstring.
+
+    ``channels`` overrides the delay-channel placement for PrioPlus modes
+    (the :mod:`repro.tune` channel tuner passes tuned bands here).
+    """
     sim = Simulator(seed)
-    factory = _factory(mode)
+    factory = _factory(mode, channels=channels)
     net = Network(sim, factory.switch_config())
     tor0 = net.add_switch("tor0")
     tor1 = net.add_switch("tor1")
@@ -279,10 +284,11 @@ def run_fault_degrade(
     drop_prob: float = 0.0005,
     spike_ns: int = 2_000,
     seed: int = 1,
+    channels=None,
 ) -> dict:
     """One mode through the degraded-bottleneck scenario."""
     sim = Simulator(seed)
-    factory = _factory(mode)
+    factory = _factory(mode, channels=channels)
     net = Network(sim, factory.switch_config())
     core = net.add_switch("core")
     hosts = []

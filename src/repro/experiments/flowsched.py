@@ -43,6 +43,7 @@ class FlowSchedConfig:
         pfc_enabled: bool = True,
         rto_ns: Optional[int] = None,
         cdf_factory=websearch,
+        channels=None,
     ):
         self.k = k
         self.rate_bps = rate_bps
@@ -58,6 +59,9 @@ class FlowSchedConfig:
         self.rto_ns = rto_ns
         #: callable(scale) -> EmpiricalCdf; swap in hadoop()/ali_storage()
         self.cdf_factory = cdf_factory
+        #: ChannelConfig override for delay-channel modes (repro.tune places
+        #: tuned [D_target, D_limit] bands here); None = paper default
+        self.channels = channels
 
     def buffer_bytes(self) -> int:
         """Chip buffer from the paper's 4.4 MB/Tbps Tomahawk4 ratio."""
@@ -103,7 +107,7 @@ def run_flowsched(
     """
     cfg = cfg or FlowSchedConfig()
     sim = Simulator(cfg.seed)
-    factory = CCFactory(mode, n_priorities=n_priorities)
+    factory = CCFactory(mode, n_priorities=n_priorities, channels=cfg.channels)
     cdf = cfg.cdf_factory(cfg.size_scale)
     boundaries = size_group_boundaries(cdf, n_priorities)
     # §4.4: latency-sensitive (small-class) flows start without probing and
@@ -119,7 +123,9 @@ def run_flowsched(
             return StartTier.MEDIUM
         return StartTier.LOW
 
-    factory = CCFactory(mode, n_priorities=n_priorities, tier_of_group=tier_of_group)
+    factory = CCFactory(
+        mode, n_priorities=n_priorities, channels=cfg.channels, tier_of_group=tier_of_group
+    )
     switch_cfg = factory.switch_config(
         buffer_bytes=cfg.buffer_bytes() if not big_buffer else 32 * 1024 * 1024,
         headroom_per_port_per_prio=cfg.headroom_bytes(),

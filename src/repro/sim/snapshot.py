@@ -23,6 +23,17 @@ Why deep copy works here:
   releasing them into the shared pool is safe (the pool guards against
   double-release per object).
 
+**Live observability hooks are rejected by default.**  A world whose
+simulator carries an *enabled* telemetry recorder / auditor / tracer /
+inspector / sampler / profiler would deep-copy the hook's recorder rings
+along with it — the fork then appends to a private copy while callers
+holding the original hook object see nothing, which reads as silent data
+loss.  Until a hook-aware restore exists, snapshotting such a world raises
+:class:`SnapshotHookError` naming the live hooks; pass ``allow_hooks=True``
+to copy them anyway (each fork gets an independent deep-copied hook — the
+right call when the fork *should* record into its own buffers, as
+:mod:`repro.tune` environments do).
+
 This is also the cheap ``reset()`` path ROADMAP item 3 asks for: snapshot
 a freshly-built topology once, then materialise per run instead of
 rebuilding hosts/switches/routes from scratch.
@@ -37,7 +48,30 @@ from __future__ import annotations
 import copy
 from typing import Tuple
 
-__all__ = ["WorldSnapshot", "snapshot_world", "fork_world"]
+__all__ = ["WorldSnapshot", "SnapshotHookError", "snapshot_world", "fork_world"]
+
+#: Simulator attributes that may carry live observability hooks.
+_HOOK_ATTRS = ("telemetry", "audit", "tracer", "inspector", "sampler", "profiler")
+
+
+class SnapshotHookError(RuntimeError):
+    """A world with live observability hooks was snapshotted without opting in."""
+
+
+def _check_hooks(sim) -> None:
+    live = [
+        name
+        for name in _HOOK_ATTRS
+        if getattr(getattr(sim, name, None), "enabled", False)
+    ]
+    if live:
+        raise SnapshotHookError(
+            f"simulator has live observability hooks ({', '.join(live)}): a "
+            f"deep-copied fork would record into private copies of their "
+            f"buffers, invisible to holders of the originals. Detach the "
+            f"hooks before snapshotting, or pass allow_hooks=True to give "
+            f"each fork its own independent copy."
+        )
 
 
 def _singleton_memo() -> dict:
@@ -67,7 +101,9 @@ class WorldSnapshot:
 
     __slots__ = ("_world",)
 
-    def __init__(self, sim, *roots):
+    def __init__(self, sim, *roots, allow_hooks: bool = False):
+        if not allow_hooks:
+            _check_hooks(sim)
         self._world = copy.deepcopy((sim, roots), _singleton_memo())
 
     def materialize(self) -> Tuple:
@@ -81,12 +117,14 @@ class WorldSnapshot:
         return (sim,) + tuple(roots)
 
 
-def snapshot_world(sim, *roots) -> WorldSnapshot:
+def snapshot_world(sim, *roots, allow_hooks: bool = False) -> WorldSnapshot:
     """Capture ``sim`` (and anything reachable from ``roots``) for later."""
-    return WorldSnapshot(sim, *roots)
+    return WorldSnapshot(sim, *roots, allow_hooks=allow_hooks)
 
 
-def fork_world(sim, *roots) -> Tuple:
+def fork_world(sim, *roots, allow_hooks: bool = False) -> Tuple:
     """One-shot snapshot+materialize: a single deep copy, returned directly."""
+    if not allow_hooks:
+        _check_hooks(sim)
     sim2, roots2 = copy.deepcopy((sim, roots), _singleton_memo())
     return (sim2,) + tuple(roots2)

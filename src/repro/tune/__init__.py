@@ -1,0 +1,54 @@
+"""Gym-style CC environment and black-box auto-tuning (ROADMAP item 3).
+
+Three layers:
+
+* :mod:`repro.tune.env` — :class:`CCEnv`, a gym-style environment stepping
+  the DES between ACK batches / fixed strides, with snapshot-backed
+  byte-identical ``reset()``, per-flow cwnd/rate actions through the
+  ``cc.external`` hook, and goodput/FCT/fairness rewards.
+* :mod:`repro.tune.channel_env` + :mod:`repro.tune.optim` — the channel
+  tuner: PrioPlus ``[D_target, D_limit]`` placement as a black-box search
+  problem (CEM / random search, stdlib RNG, deterministic).
+* :mod:`repro.tune.search` + :mod:`repro.tune.rollout` — checkpointed
+  search loops with serial or :class:`~repro.runner.scheduler.WorkerFleet`
+  rollouts; surfaced as ``python -m repro tune`` and the registered
+  ``tune_channels`` experiment.
+"""
+
+from .channel_env import (
+    WORKLOADS,
+    ChannelTuningEnv,
+    TuneSpec,
+    default_theta,
+    evaluate_candidate,
+    make_spec,
+    theta_to_bands,
+)
+from .env import REWARDS, CCEnv, World, jain_index, make_gymnasium_env
+from .builders import star_builder, star_world
+from .optim import CEM, OPTIMIZERS, RandomSearch
+from .search import run_search
+from .spaces import BoxSpace, DictSpace
+
+__all__ = [
+    "CCEnv",
+    "World",
+    "REWARDS",
+    "jain_index",
+    "make_gymnasium_env",
+    "BoxSpace",
+    "DictSpace",
+    "star_world",
+    "star_builder",
+    "TuneSpec",
+    "WORKLOADS",
+    "ChannelTuningEnv",
+    "make_spec",
+    "default_theta",
+    "theta_to_bands",
+    "evaluate_candidate",
+    "CEM",
+    "RandomSearch",
+    "OPTIMIZERS",
+    "run_search",
+]

@@ -1,0 +1,93 @@
+"""``BENCH_tune.json``: env stepping rate and serial-vs-fleet rollout throughput.
+
+Two numbers matter for tuning/RL practicality:
+
+* **env steps/sec** — how fast :class:`CCEnv` turns agent decisions around
+  (snapshot-backed resets included), serial in-process;
+* **rollout evals/sec** — candidate evaluations per second, serial vs
+  fanned over a :class:`~repro.runner.scheduler.WorkerFleet`, which bounds
+  search wall time.
+
+Run via ``python -m repro tune --bench --out BENCH_tune.json`` (CI uploads
+the artifact from the ``tune-smoke`` job).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from .builders import star_builder
+from .channel_env import default_theta, make_spec
+from .env import CCEnv
+from .optim import RandomSearch
+from .rollout import RolloutBackend
+
+__all__ = ["run_tune_bench"]
+
+
+def _bench_env(n_episodes: int) -> dict:
+    env = CCEnv(
+        star_builder(n_flows=4, kb=40, seed=3, prioplus=True), stride_ns=20_000
+    )
+    env.reset()  # builds + snapshots outside the timed region
+    steps = 0
+    sim_ns = 0
+    t0 = time.perf_counter()
+    for _ in range(n_episodes):
+        env.reset()
+        terminated = truncated = False
+        while not (terminated or truncated):
+            _obs, _r, terminated, truncated, info = env.step()
+            steps += 1
+        sim_ns += info["t_ns"]
+    wall = time.perf_counter() - t0
+    return {
+        "episodes": n_episodes,
+        "steps": steps,
+        "wall_s": round(wall, 4),
+        "steps_per_sec": round(steps / wall, 1),
+        "sim_ns_per_wall_s": round(sim_ns / wall, 1),
+    }
+
+
+def _bench_rollout(spec, n_candidates: int, jobs: int) -> dict:
+    opt = RandomSearch(spec.space(), seed=11, pop_size=n_candidates,
+                       init_theta=default_theta(spec.n_priorities))
+    pop = opt.ask()
+    with RolloutBackend(spec.to_dict(), jobs=jobs) as backend:
+        if jobs > 1:
+            backend.evaluate(pop[:1], 0)  # spin the pool up outside the timing
+        t0 = time.perf_counter()
+        backend.evaluate(pop, 1)
+        wall = time.perf_counter() - t0
+    return {
+        "candidates": n_candidates,
+        "jobs": jobs,
+        "wall_s": round(wall, 4),
+        "evals_per_sec": round(n_candidates / wall, 3),
+    }
+
+
+def run_tune_bench(quick: bool = False, jobs: int = 2, log=None) -> dict:
+    """Measure env and rollout throughput; returns the BENCH_tune payload."""
+    say = log or (lambda msg: None)
+    n_episodes = 3 if quick else 10
+    n_candidates = 4 if quick else 8
+    spec = make_spec("fault_flap", seed=0, quick=True)
+    say(f"env: {n_episodes} episodes of the star world ...")
+    env = _bench_env(n_episodes)
+    say(f"env: {env['steps_per_sec']} steps/s")
+    say(f"rollout: {n_candidates} candidates serial ...")
+    serial = _bench_rollout(spec, n_candidates, jobs=1)
+    say(f"rollout: {n_candidates} candidates over {jobs} workers ...")
+    fleet = _bench_rollout(spec, n_candidates, jobs=jobs)
+    speedup = round(fleet["evals_per_sec"] / serial["evals_per_sec"], 2)
+    say(f"rollout: serial {serial['evals_per_sec']}/s, fleet {fleet['evals_per_sec']}/s "
+        f"({speedup}x)")
+    return {
+        "bench": "tune",
+        "quick": quick,
+        "env": env,
+        "rollout": {"serial": serial, "fleet": fleet, "speedup": speedup},
+    }

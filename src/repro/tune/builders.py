@@ -1,0 +1,61 @@
+"""Ready-made :class:`~repro.tune.env.World` builders for :class:`CCEnv`.
+
+Any deterministic zero-argument callable returning ``(sim, net, flows,
+senders)`` works as a builder; these cover the common cases so tests, the
+bench and quick experiments don't each reinvent a topology.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Optional
+
+from ..core.channels import ChannelConfig
+from ..core.prioplus import PrioPlusCC
+from ..cc.swift import Swift, SwiftParams
+from ..sim.engine import Simulator
+from ..sim.switch import SwitchConfig
+from ..topology import star
+from ..transport.flow import Flow
+from ..transport.sender import FlowSender
+from .env import World
+
+__all__ = ["star_world", "star_builder"]
+
+
+def star_world(
+    n_flows: int = 4,
+    kb: int = 60,
+    seed: int = 1,
+    rate_bps: float = 10e9,
+    prioplus: bool = False,
+    channels: Optional[ChannelConfig] = None,
+) -> World:
+    """N Swift flows through one bottleneck port; staggered virtual priorities.
+
+    With ``prioplus=True`` each flow's Swift is wrapped in
+    :class:`~repro.core.prioplus.PrioPlusCC` on the flow's virtual priority
+    (cycling through ``channels.n_priorities``), so the env's
+    per-vpriority occupancy observations and channel effects are live.
+    """
+    sim = Simulator(seed)
+    cfg = SwitchConfig(n_queues=2, buffer_bytes=4 * 1024 * 1024)
+    net, hosts, recv = star(
+        sim, n_flows, rate_bps=rate_bps, link_delay_ns=500, switch_cfg=cfg
+    )
+    channels = channels or ChannelConfig(n_priorities=max(2, min(n_flows, 8)))
+    flows, senders = [], []
+    for i in range(n_flows):
+        vprio = 1 + i % channels.n_priorities if prioplus else i % 2
+        flow = Flow(i + 1, hosts[i], recv, kb * 1000 + i, vpriority=vprio)
+        cc = Swift(SwiftParams(target_scaling=False))
+        if prioplus:
+            cc = PrioPlusCC(cc, vpriority=vprio, channels=channels)
+        senders.append(FlowSender(sim, net, flow, cc))
+        flows.append(flow)
+    return World(sim, net, flows, senders)
+
+
+def star_builder(**kwargs):
+    """Builder factory: ``CCEnv(star_builder(n_flows=8, seed=3), ...)``."""
+    return functools.partial(star_world, **kwargs)

@@ -1,0 +1,255 @@
+"""Channel placement as a black-box search problem.
+
+The paper fixes PrioPlus's delay channels uniformly: ``D_target^i =
+BaseRtt + i*(A+B)``, ``D_limit^i = D_target^i + A/2 + B`` with hand-picked
+``A = 3.2 µs``, ``B = 0.8 µs`` (§4.1).  Here the placement itself is the
+decision variable.
+
+**Parameterisation.**  A candidate is ``theta = [gap_1, width_1, ...,
+gap_n, width_n]`` (ns): ``target_i = limit_{i-1} + gap_i`` and
+``limit_i = target_i + width_i`` with ``limit_0 = 0``.  Any theta inside
+the per-dimension bounds maps to a *valid* ordered non-overlapping band
+list — the search space has no infeasible region, so optimizers never
+waste evaluations on rejected configs.  The paper default is itself a
+theta (``gap_1 = A+B``, ``width = A/2+B``, ``gap_{i>1} = A/2``), which
+search loops use as the incumbent seed.
+
+**Evaluation.**  :func:`evaluate_candidate` is a module-level pure
+function of ``(spec_dict, theta)`` — picklable, so fleet workers evaluate
+candidates bit-identically to the serial path.  Workloads:
+
+* ``flowsched_micro`` — tiny fig11-style WebSearch run (~1 s/eval), the
+  CI smoke workload; utility = -mean FCT (µs).
+* ``flowsched`` — a fuller fig11-style run; utility = -mean FCT (µs).
+* ``fault_flap`` — the spine-flap fault scenario; utility =
+  high-priority goodput retained during the fault (Gbit/s).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.channels import PAPER_A_NS, PAPER_B_NS, ChannelConfig
+from .spaces import BoxSpace
+
+__all__ = [
+    "TuneSpec",
+    "WORKLOADS",
+    "make_spec",
+    "default_theta",
+    "theta_to_bands",
+    "theta_to_channels",
+    "evaluate_candidate",
+    "ChannelTuningEnv",
+]
+
+#: per-dimension bounds (ns): inter-channel gap and channel width
+GAP_MIN_NS, GAP_MAX_NS = 200, 16_000
+WIDTH_MIN_NS, WIDTH_MAX_NS = 200, 12_000
+
+
+class TuneSpec:
+    """What to tune: workload, channel count, evaluation scale, seed.
+
+    JSON round-trips through :meth:`to_dict`/:meth:`from_dict` so specs
+    travel inside experiment Point configs and search checkpoints.
+    """
+
+    __slots__ = ("workload", "n_priorities", "seed", "quick")
+
+    def __init__(self, workload: str, n_priorities: int, seed: int = 0, quick: bool = False):
+        if workload not in WORKLOADS:
+            raise ValueError(f"unknown workload {workload!r}; choose from {sorted(WORKLOADS)}")
+        if n_priorities < 1:
+            raise ValueError("need at least one priority")
+        self.workload = workload
+        self.n_priorities = n_priorities
+        self.seed = seed
+        self.quick = quick
+
+    def space(self) -> BoxSpace:
+        low = [GAP_MIN_NS, WIDTH_MIN_NS] * self.n_priorities
+        high = [GAP_MAX_NS, WIDTH_MAX_NS] * self.n_priorities
+        return BoxSpace(low, high)
+
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "n_priorities": self.n_priorities,
+            "seed": self.seed,
+            "quick": self.quick,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TuneSpec":
+        return cls(
+            data["workload"],
+            data["n_priorities"],
+            seed=data.get("seed", 0),
+            quick=data.get("quick", False),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"TuneSpec({self.workload!r}, n={self.n_priorities}, "
+            f"seed={self.seed}, quick={self.quick})"
+        )
+
+
+def make_spec(
+    workload: str,
+    n_priorities: Optional[int] = None,
+    seed: int = 0,
+    quick: bool = False,
+) -> TuneSpec:
+    """Spec with the workload's natural channel count when not given."""
+    if n_priorities is None:
+        n_priorities = WORKLOADS[workload]["n_priorities"]
+    return TuneSpec(workload, n_priorities, seed=seed, quick=quick)
+
+
+def default_theta(n_priorities: int) -> List[float]:
+    """The paper's uniform placement expressed as a theta vector."""
+    pitch = PAPER_A_NS + PAPER_B_NS  # 4 µs
+    width = PAPER_A_NS // 2 + PAPER_B_NS  # 2.4 µs
+    theta: List[float] = [float(pitch), float(width)]
+    for _ in range(n_priorities - 1):
+        theta.extend([float(pitch - width), float(width)])
+    return theta
+
+
+def theta_to_bands(theta: Sequence[float]) -> List[Tuple[int, int]]:
+    """Decode theta into ordered ``(target, limit)`` offset pairs.
+
+    Values are clipped into the per-dimension bounds first, so any real
+    vector (e.g. a Gaussian CEM sample) decodes to a valid placement.
+    """
+    if len(theta) % 2 != 0 or not theta:
+        raise ValueError(f"theta must be [gap, width] pairs, got {len(theta)} values")
+    bands: List[Tuple[int, int]] = []
+    limit = 0
+    for i in range(0, len(theta), 2):
+        gap = int(round(min(max(theta[i], GAP_MIN_NS), GAP_MAX_NS)))
+        width = int(round(min(max(theta[i + 1], WIDTH_MIN_NS), WIDTH_MAX_NS)))
+        target = limit + gap
+        limit = target + width
+        bands.append((target, limit))
+    return bands
+
+
+def theta_to_channels(theta: Sequence[float], noise_ns: int = PAPER_B_NS) -> ChannelConfig:
+    return ChannelConfig.from_bands(theta_to_bands(theta), noise_ns=noise_ns)
+
+
+# ----------------------------------------------------------------------
+# workload evaluators (module-level and pure: picklable for fleet workers)
+# ----------------------------------------------------------------------
+def _eval_flowsched(spec: dict, channels: ChannelConfig, scale: dict) -> dict:
+    from ..experiments.common import Mode
+    from ..experiments.flowsched import FlowSchedConfig, run_flowsched
+
+    cfg = FlowSchedConfig(
+        rate_bps=scale["rate_bps"],
+        duration_ns=scale["duration_ns"],
+        size_scale=scale["size_scale"],
+        seed=spec.get("seed", 0) + 42,
+        channels=channels,
+    )
+    res = run_flowsched(Mode.PRIOPLUS, spec["n_priorities"], cfg)
+    fct = res.get("fct", {}).get("all")
+    if not fct:
+        return {"utility": float("-inf"), "metrics": {"n_done": res.get("n_done", 0)}}
+    return {
+        "utility": -fct["mean_us"],
+        "metrics": {
+            "mean_fct_us": fct["mean_us"],
+            "p99_fct_us": fct["p99_us"],
+            "n_done": res["n_done"],
+            "all_done": res["all_done"],
+        },
+    }
+
+
+def _eval_flowsched_micro(spec: dict, channels: ChannelConfig) -> dict:
+    return _eval_flowsched(
+        spec, channels, {"rate_bps": 40e9, "duration_ns": 200_000, "size_scale": 0.05}
+    )
+
+
+def _eval_flowsched_full(spec: dict, channels: ChannelConfig) -> dict:
+    scale = (
+        {"rate_bps": 40e9, "duration_ns": 200_000, "size_scale": 0.05}
+        if spec.get("quick")
+        else {"rate_bps": 10e9, "duration_ns": 1_000_000, "size_scale": 0.1}
+    )
+    return _eval_flowsched(spec, channels, scale)
+
+
+def _eval_fault_flap(spec: dict, channels: ChannelConfig) -> dict:
+    from ..experiments.common import Mode
+    from ..experiments.fault_experiments import run_fault_flap
+
+    res = run_fault_flap(
+        Mode.PRIOPLUS,
+        rate=10e9,
+        flaps=1,
+        seed=spec.get("seed", 0) + 1,
+        channels=channels,
+    )
+    during = res["rates"]["during"]["high"]
+    return {
+        "utility": during / 1e9,
+        "metrics": {
+            "high_during_gbps": during / 1e9,
+            "high_post_gbps": res["rates"]["post"]["high"] / 1e9,
+            "low_during_gbps": res["rates"]["during"]["low"] / 1e9,
+        },
+    }
+
+
+#: workload name -> {evaluator, natural channel count}
+WORKLOADS: Dict[str, dict] = {
+    "flowsched_micro": {"fn": _eval_flowsched_micro, "n_priorities": 4},
+    "flowsched": {"fn": _eval_flowsched_full, "n_priorities": 4},
+    "fault_flap": {"fn": _eval_fault_flap, "n_priorities": 2},
+}
+
+
+def evaluate_candidate(spec_dict: dict, theta: Sequence[float]) -> dict:
+    """Score one placement: ``{"utility", "metrics", "bands"}`` (higher is better).
+
+    Pure function of its arguments (all JSON-serialisable), evaluated
+    identically in-process and in fleet workers — the serial-vs-fleet
+    determinism test in ``tests/test_tune_optim.py`` relies on this.
+    """
+    workload = WORKLOADS[spec_dict["workload"]]
+    channels = theta_to_channels(theta)
+    out = workload["fn"](spec_dict, channels)
+    out["bands"] = channels.bands()
+    return out
+
+
+class ChannelTuningEnv:
+    """Gym-style view of the search problem: one episode = one evaluation.
+
+    ``reset()`` returns the incumbent (paper-default) theta as the
+    observation; ``step(theta)`` evaluates the candidate and terminates
+    with ``reward = utility``.  This makes the channel tuner pluggable
+    into any bandit/RL harness, while :mod:`repro.tune.search` drives the
+    same evaluator directly for CEM/random search.
+    """
+
+    def __init__(self, spec: TuneSpec):
+        self.spec = spec
+        self.space = spec.space()
+        self._last = None
+
+    def reset(self, *, seed=None, options=None):
+        obs = default_theta(self.spec.n_priorities)
+        return obs, {"spec": self.spec.to_dict()}
+
+    def step(self, theta: Sequence[float]):
+        theta = self.space.clip(theta)
+        result = evaluate_candidate(self.spec.to_dict(), theta)
+        self._last = result
+        return list(theta), result["utility"], True, False, result

@@ -65,3 +65,72 @@ def test_property_higher_priority_larger_thresholds(i):
     ch = ChannelConfig(n_priorities=17)
     assert ch.target_offset_ns(i + 1) > ch.target_offset_ns(i)
     assert ch.limit_offset_ns(i + 1) > ch.limit_offset_ns(i)
+
+
+# ----------------------------------------------------------------------
+# explicit bands (the representation repro.tune searches over)
+# ----------------------------------------------------------------------
+def test_bands_roundtrip_reproduces_uniform_placement():
+    uniform = ChannelConfig(n_priorities=5)
+    banded = ChannelConfig.from_bands(uniform.bands())
+    assert banded.target_offset_ns(0) == uniform.target_offset_ns(0) == 0
+    for i in range(1, 6):
+        assert banded.target_offset_ns(i) == uniform.target_offset_ns(i)
+        assert banded.limit_offset_ns(i) == uniform.limit_offset_ns(i)
+    assert banded.n_priorities == 5
+
+
+def test_band_step_ns_is_the_minimum_gap():
+    ch = ChannelConfig.from_bands([(4000, 6400), (8000, 10400), (11000, 13000)])
+    assert ch.step_ns == 600  # 11000 - 10400, the tightest inter-channel gap
+    assert ChannelConfig.from_bands([(500, 900)]).step_ns == 500
+
+
+def test_band_validation_errors_name_offending_priorities():
+    with pytest.raises(ValueError, match="priority 1 target offset"):
+        ChannelConfig.from_bands([(0, 1000)])
+    with pytest.raises(ValueError, match="overlap between priorities 1 and 2"):
+        ChannelConfig.from_bands([(1000, 2000), (1500, 3000)])
+    with pytest.raises(ValueError, match="degenerate channel at priority 2"):
+        ChannelConfig.from_bands([(1000, 2000), (3000, 3000)])
+    with pytest.raises(ValueError, match="must be a \\(target_offset_ns"):
+        ChannelConfig.from_bands([(1000,)])
+    with pytest.raises(ValueError, match="at least one priority band"):
+        ChannelConfig.from_bands([])
+    with pytest.raises(ValueError, match="contradicts"):
+        ChannelConfig(n_priorities=3, bands=[(1000, 2000)])
+
+
+def test_json_roundtrip_both_kinds():
+    for ch in (
+        ChannelConfig(n_priorities=4),
+        ChannelConfig(fluctuation_ns=6400, noise_ns=1600, n_priorities=2),
+        ChannelConfig.from_bands([(3000, 5000), (9000, 12000)], noise_ns=500),
+    ):
+        clone = ChannelConfig.from_json(ch.to_json())
+        assert clone == ch
+        assert hash(clone) == hash(ch)
+        for i in range(0, ch.n_priorities + 1):
+            assert clone.target_offset_ns(i) == ch.target_offset_ns(i)
+            assert clone.limit_offset_ns(i) == ch.limit_offset_ns(i)
+
+
+def test_from_dict_rejects_unknown_kind():
+    with pytest.raises(ValueError, match="unknown channel config kind"):
+        ChannelConfig.from_dict({"kind": "nope"})
+
+
+@given(
+    gaps=st.lists(st.integers(1, 10_000), min_size=1, max_size=8),
+    widths=st.lists(st.integers(1, 10_000), min_size=8, max_size=8),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_any_positive_gaps_and_widths_form_valid_bands(gaps, widths):
+    bands, limit = [], 0
+    for gap, width in zip(gaps, widths):
+        target = limit + gap
+        limit = target + width
+        bands.append((target, limit))
+    ch = ChannelConfig.from_bands(bands)
+    ch.validate()
+    assert ch.bands() == bands

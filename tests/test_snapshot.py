@@ -107,3 +107,48 @@ def test_snapshot_as_topology_reset_cache():
         runs.append(_fingerprint(s, fl, sn))
     assert runs[0] == runs[1]
     assert all(done for done, _ in runs[0][3])
+
+
+# ----------------------------------------------------------------------
+# live observability hooks: fail fast unless explicitly allowed
+# ----------------------------------------------------------------------
+def test_snapshot_with_live_recorder_fails_fast():
+    import pytest
+
+    from repro.sim.snapshot import SnapshotHookError
+    from repro.telemetry.recorder import Recorder, set_default_recorder
+
+    set_default_recorder(Recorder())
+    try:
+        sim, net, flows, snds = _world(1, 10, 0)
+    finally:
+        set_default_recorder(None)
+    assert sim.telemetry.enabled
+    with pytest.raises(SnapshotHookError, match="telemetry"):
+        snapshot_world(sim, net, flows, snds)
+    with pytest.raises(SnapshotHookError, match="allow_hooks=True"):
+        fork_world(sim, net, flows, snds)
+
+
+def test_snapshot_allow_hooks_gives_forks_independent_recorders():
+    from repro.telemetry.recorder import Recorder, set_default_recorder
+
+    set_default_recorder(Recorder())
+    try:
+        sim, net, flows, snds = _world(1, 10, 0)
+    finally:
+        set_default_recorder(None)
+    sim2, _net2, _flows2, _snds2 = fork_world(sim, net, flows, snds, allow_hooks=True)
+    assert sim2.telemetry is not sim.telemetry  # private copy, not a shared ring
+    _run_out(sim2)
+    assert sim2.telemetry.enabled
+    # the original's recorder saw none of the fork's activity
+    assert sim.events_processed == 0
+
+
+def test_snapshot_with_inert_hooks_needs_no_opt_in():
+    sim, net, flows, snds = _world(1, 10, 0)
+    snap = snapshot_world(sim, net, flows, snds)  # all hooks are NULL singletons
+    sim2, _net2, flows2, snds2 = snap.materialize()
+    _run_out(sim2)
+    assert all(f.done for f in flows2)

@@ -1,0 +1,241 @@
+"""CCEnv: byte-identical resets, stepping modes, actions, observations, rewards.
+
+The load-bearing property (ISSUE 9 acceptance): ``reset()`` materialises a
+world byte-identical to a fresh build — so a tuning/RL loop over snapshots
+explores exactly the dynamics a from-scratch run would.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tune import CCEnv, jain_index, make_gymnasium_env, star_builder, star_world
+from repro.tune.env import REWARDS
+
+
+def _fingerprint(world) -> tuple:
+    return (
+        world.sim.now,
+        world.sim.events_processed,
+        world.sim.rng.random(),
+        tuple((f.done, f.fct_ns() if f.done else None) for f in world.flows),
+        tuple((s.acked_payload, s.snd_nxt, s.cc.cwnd) for s in world.senders),
+    )
+
+
+# ----------------------------------------------------------------------
+# reset determinism
+# ----------------------------------------------------------------------
+@given(
+    n_flows=st.integers(1, 4),
+    kb=st.integers(2, 80),
+    seed=st.integers(0, 2**31),
+    events=st.integers(0, 3000),
+)
+@settings(max_examples=15, deadline=None)
+def test_property_reset_is_byte_identical_to_fresh_build(n_flows, kb, seed, events):
+    env = CCEnv(star_builder(n_flows=n_flows, kb=kb, seed=seed), stride_ns=10_000)
+    env.reset()
+    env.world.sim.run(max_events=events)
+
+    fresh = star_world(n_flows=n_flows, kb=kb, seed=seed)
+    fresh.sim.run(max_events=events)
+    want = _fingerprint(fresh)
+    assert _fingerprint(env.world) == want
+
+    # a second reset lands on the identical world again
+    env.reset()
+    env.world.sim.run(max_events=events)
+    assert _fingerprint(env.world) == want
+
+
+def test_repeated_resets_and_full_episodes_are_identical():
+    env = CCEnv(star_builder(n_flows=3, kb=40, seed=9, prioplus=True), stride_ns=25_000)
+
+    def episode():
+        env.reset()
+        trail = []
+        terminated = truncated = False
+        while not (terminated or truncated):
+            obs, r, terminated, truncated, _info = env.step()
+            trail.append((obs["t_ns"], r, tuple(obs["flow_acked_bytes"])))
+        return tuple(trail), _fingerprint(env.world)
+
+    assert episode() == episode() == episode()
+
+
+# ----------------------------------------------------------------------
+# stepping modes
+# ----------------------------------------------------------------------
+def test_stride_stepping_advances_fixed_sim_time():
+    env = CCEnv(star_builder(n_flows=2, kb=60, seed=1), stride_ns=15_000)
+    env.reset()
+    obs, _r, _term, _trunc, info = env.step()
+    assert obs["t_ns"] == 15_000 and info["dt_ns"] == 15_000
+
+
+def test_ack_batch_stepping_collects_acks():
+    env = CCEnv(star_builder(n_flows=2, kb=60, seed=1), ack_batch=5)
+    env.reset()
+    before = sum(s.acked_count for s in env.world.senders)
+    _obs, _r, term, trunc, _info = env.step()
+    after = sum(s.acked_count for s in env.world.senders)
+    assert term or trunc or after - before >= 5
+
+
+def test_episode_terminates_with_all_flows_done():
+    env = CCEnv(star_builder(n_flows=2, kb=10, seed=4), stride_ns=50_000)
+    env.reset()
+    terminated = truncated = False
+    while not (terminated or truncated):
+        _obs, _r, terminated, truncated, info = env.step()
+    assert terminated and info["flows_done"] == 2
+
+
+def test_horizon_truncates():
+    env = CCEnv(star_builder(n_flows=2, kb=500, seed=4), stride_ns=40_000, horizon_ns=80_000)
+    env.reset()
+    env.step()
+    _obs, _r, terminated, truncated, _info = env.step()
+    assert truncated and not terminated
+
+
+def test_constructor_validation():
+    b = star_builder(n_flows=1, kb=10, seed=0)
+    with pytest.raises(ValueError, match="exactly one"):
+        CCEnv(b)
+    with pytest.raises(ValueError, match="exactly one"):
+        CCEnv(b, stride_ns=100, ack_batch=5)
+    with pytest.raises(ValueError, match="unknown reward"):
+        CCEnv(b, stride_ns=100, reward="nope")
+    with pytest.raises(RuntimeError, match="reset"):
+        CCEnv(b, stride_ns=100).step()
+
+
+# ----------------------------------------------------------------------
+# actions (cc.external hook)
+# ----------------------------------------------------------------------
+def test_cwnd_override_is_applied_and_clamped():
+    env = CCEnv(star_builder(n_flows=2, kb=200, seed=2), stride_ns=1)
+    env.reset()
+    cc = env.world.senders[0].cc
+    env.step({0: {"cwnd_bytes": 2_500.0}})
+    assert cc.cwnd == pytest.approx(2_500.0)
+    env.step({0: {"cwnd_bytes": 1e12}})
+    assert cc.cwnd == cc.max_cwnd
+    env.step({0: {"cwnd_bytes": 0.0}})
+    assert cc.cwnd == cc.min_cwnd
+
+
+def test_rate_override_converts_via_base_rtt():
+    env = CCEnv(star_builder(n_flows=1, kb=200, seed=2), stride_ns=1)
+    env.reset()
+    cc = env.world.senders[0].cc
+    env.step([{"rate_bps": 2e9}])
+    assert cc.cwnd == pytest.approx(2e9 * cc.base_rtt / 8e9)
+
+
+def test_prioplus_override_reanchors_rtt_bookkeeping():
+    env = CCEnv(star_builder(n_flows=2, kb=100, seed=3, prioplus=True), stride_ns=30_000)
+    env.reset()
+    env.step()
+    snd = env.world.senders[0]
+    snd.cc.consec = 1
+    snd.cc.rtt_pass = True
+    snd.cc.dual_rtt_pass = True
+    adopted = snd.cc.external_override(cwnd_bytes=4_000.0)
+    assert adopted == snd.cc.inner.cwnd >= snd.cc.inner.min_cwnd
+    # the override re-anchored Algorithm 1's per-RTT bookkeeping
+    assert snd.cc.consec == 0
+    assert snd.cc.rtt_pass is False and snd.cc.dual_rtt_pass is False
+    assert snd.cc.rtt_end_seq == snd.snd_nxt
+    # and the env action path reaches the same hook
+    env.step({0: {"cwnd_bytes": 5_000.0}})
+    assert snd.cc.cwnd >= snd.cc.min_cwnd
+
+
+def test_bad_actions_raise():
+    env = CCEnv(star_builder(n_flows=1, kb=10, seed=0), stride_ns=100)
+    env.reset()
+    with pytest.raises(ValueError, match="unknown override keys"):
+        env.step({0: {"bogus": 1}})
+    with pytest.raises(ValueError, match="indexes flow"):
+        env.step({5: {"cwnd_bytes": 1000.0}})
+
+
+def test_action_space_reflects_cc_clamps():
+    env = CCEnv(star_builder(n_flows=3, kb=10, seed=0), stride_ns=100)
+    space = env.action_space_for()
+    assert space.shape == (3,)
+    assert space.low == [s.cc.min_cwnd for s in env.world.senders]
+    assert space.high == [s.cc.max_cwnd for s in env.world.senders]
+
+
+# ----------------------------------------------------------------------
+# observations
+# ----------------------------------------------------------------------
+def test_observation_shape_and_vpriority_occupancy():
+    env = CCEnv(star_builder(n_flows=4, kb=80, seed=6, prioplus=True), stride_ns=30_000)
+    obs, _info = env.reset()
+    env.step()
+    obs, _r, _t, _tr, _i = env.step()
+    n = len(env.world.senders)
+    assert len(obs["flow_delay_ns"]) == n
+    assert len(obs["flow_cwnd_bytes"]) == n
+    assert len(obs["port_backlog_bytes"]) == len(obs["port_paused"])
+    # per-vpriority occupancy reconciles with per-sender inflight
+    per_vprio = {}
+    for snd in env.world.senders:
+        per_vprio[snd.flow.vpriority] = per_vprio.get(snd.flow.vpriority, 0) + snd.inflight_bytes
+    for vprio, total in per_vprio.items():
+        assert obs["vprio_inflight_bytes"][vprio] == total
+    assert sum(obs["vprio_inflight_bytes"]) == sum(obs["flow_inflight_bytes"])
+
+
+# ----------------------------------------------------------------------
+# rewards
+# ----------------------------------------------------------------------
+def test_goodput_reward_matches_acked_bytes():
+    env = CCEnv(star_builder(n_flows=2, kb=60, seed=1), stride_ns=20_000)
+    env.reset()
+    _obs, r, _t, _tr, info = env.step()
+    want = sum(info["acked_delta_bytes"]) * 8.0 / info["dt_ns"]
+    assert r == pytest.approx(want)
+
+
+def test_neg_fct_reward_integrates_unfinished_flow_time():
+    env = CCEnv(star_builder(n_flows=2, kb=60, seed=1), stride_ns=20_000, reward="neg_fct")
+    env.reset()
+    _obs, r, _t, _tr, info = env.step()
+    unfinished = 2 - info["flows_done"]
+    assert r == pytest.approx(-unfinished * info["dt_ns"] / 1e3)
+
+
+def test_fairness_reward_and_jain_index():
+    assert jain_index([5, 5, 5]) == pytest.approx(1.0)
+    assert jain_index([1, 0, 0]) == pytest.approx(1.0)  # zeros = inactive, not unfair
+    assert jain_index([]) == 1.0
+    assert 0.5 < jain_index([3, 1]) < 1.0
+    env = CCEnv(
+        star_builder(n_flows=2, kb=60, seed=1), stride_ns=20_000, reward="goodput_fairness"
+    )
+    env.reset()
+    _obs, r, _t, _tr, info = env.step()
+    gp = sum(info["acked_delta_bytes"]) * 8.0 / info["dt_ns"]
+    assert r == pytest.approx(gp * jain_index(info["acked_delta_bytes"]))
+    assert set(REWARDS) == {"goodput", "neg_fct", "goodput_fairness"}
+
+
+# ----------------------------------------------------------------------
+# optional gymnasium extra
+# ----------------------------------------------------------------------
+def test_gymnasium_adapter_gated_on_import():
+    try:
+        import gymnasium  # noqa: F401
+    except ImportError:
+        with pytest.raises(RuntimeError, match="gymnasium is not installed"):
+            make_gymnasium_env(star_builder(n_flows=1, kb=10, seed=0), stride_ns=100)
+    else:
+        gym_env = make_gymnasium_env(star_builder(n_flows=1, kb=10, seed=0), stride_ns=100)
+        obs, _info = gym_env.reset()
+        assert obs["t_ns"] == 0
