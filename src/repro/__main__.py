@@ -116,9 +116,34 @@ def _bench_main(argv) -> int:
         "speedup + mid-scale agreement) instead of the runner bench",
     )
     parser.add_argument(
+        "--longtrace",
+        action="store_true",
+        help="run the multi-second paper-scale smoke (streaming admission + "
+        "hybrid core on 320 hosts; gates peak RSS and long-run liveness)",
+    )
+    parser.add_argument(
         "--out", default=None, metavar="PATH", help="benchmark artifact path"
     )
     args = parser.parse_args(argv)
+
+    if args.longtrace:
+        from .runner.bench_longtrace import (
+            check_longtrace,
+            run_longtrace_bench,
+            write_longtrace_bench,
+        )
+
+        snapshot = run_longtrace_bench(quick=args.quick)
+        out = args.out or "BENCH_longtrace.json"
+        write_longtrace_bench(snapshot, out)
+        print(json.dumps(json_safe(snapshot), indent=2))
+        failures = check_longtrace(snapshot)
+        for failure in failures:
+            print(f"LONGTRACE GATE: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("long-trace gates passed (bounded RSS + liveness)", file=sys.stderr)
+        return 0
 
     if args.scale:
         from .runner.bench_scale import check_scale, run_scale_bench, write_scale_bench

@@ -1,6 +1,7 @@
 """Statistics and closed-form analysis used by the experiment harness."""
 
 from .fct import SIZE_CLASSES, FctStats, group_by, percentile, size_class, speedup, summarize
+from .streaming import P2Quantile, StreamingStats
 from .export import flatten_result, write_rows_csv, write_series_csv
 from .convergence import jain_index, stability, time_to_share, utilization
 from .switch_chips import SWITCH_CHIPS, buffer_bandwidth_ratios
@@ -21,6 +22,8 @@ __all__ = [
     "speedup",
     "SIZE_CLASSES",
     "size_class",
+    "P2Quantile",
+    "StreamingStats",
     "SWITCH_CHIPS",
     "buffer_bandwidth_ratios",
     "write_series_csv",

@@ -22,7 +22,8 @@ from ..noise import paper_noise
 from ..sim.engine import MICROSECOND, MILLISECOND, Simulator
 from ..topology import multi_rack
 from ..workloads import CoflowSpec, FlowSpec, synthesize_coflows
-from .common import CCFactory, Mode, launch_specs, run_until_flows_done
+from .common import (CCFactory, FlowAdmitter, Mode, launch_specs,
+                     run_admitter, run_until_flows_done)
 
 __all__ = ["CoflowConfig", "run_coflow_mode", "run_coflow_comparison", "speedup_summary"]
 
@@ -118,9 +119,28 @@ def build_workload(cfg: CoflowConfig) -> Tuple[List[CoflowSpec], Dict[int, int]]
 
 
 def run_coflow_mode(
-    mode: str, cfg: CoflowConfig, jobs: List[CoflowSpec], groups: Dict[int, int]
+    mode: str,
+    cfg: CoflowConfig,
+    jobs: List[CoflowSpec],
+    groups: Dict[int, int],
+    topology=None,
+    streaming: bool = False,
+    fluid: bool = False,
+    fluid_config=None,
+    admit_horizon_ns: int = 1_000_000,
 ) -> Dict[int, int]:
-    """Run one mode over a pre-built workload; returns coflow_id -> CCT ns."""
+    """Run one mode over a pre-built workload; returns coflow_id -> CCT ns.
+
+    ``topology`` (a callable ``(sim, switch_cfg) -> (net, hosts)``) overrides
+    the default :func:`multi_rack` fabric — the paper-scale variants pass a
+    :func:`repro.topology.paper_fabric` wrapper (``cfg.n_hosts`` must match
+    the fabric's host count, since the workload indexes into it).
+    ``streaming=True`` admits senders in stages sorted by start time
+    (:class:`FlowAdmitter`) so live-object count tracks concurrent flows on
+    multi-second traces; ``fluid=True`` attaches a hybrid driver.  CCT
+    bookkeeping is identical on every path: the tracker observes
+    receiver-side flow completions.
+    """
     sim = Simulator(cfg.seed)
     factory = CCFactory(mode, n_priorities=N_GROUPS)
     link_bdp = cfg.host_rate_bps * 1000 / 8e9
@@ -129,15 +149,23 @@ def run_coflow_mode(
         headroom_per_port_per_prio=int(2 * link_bdp + 5 * cfg.mtu),
         pfc_enabled=cfg.pfc_enabled and not cfg.lossy,
     )
-    net, hosts = multi_rack(
-        sim,
-        n_racks=cfg.n_racks,
-        hosts_per_rack=cfg.hosts_per_rack,
-        host_rate_bps=cfg.host_rate_bps,
-        core_rate_bps=cfg.core_rate_bps,
-        link_delay_ns=cfg.link_delay_ns,
-        switch_cfg=switch_cfg,
-    )
+    if topology is not None:
+        net, hosts = topology(sim, switch_cfg)
+        if len(hosts) != cfg.n_hosts:
+            raise ValueError(
+                f"topology provides {len(hosts)} hosts but the workload was "
+                f"built for cfg.n_hosts={cfg.n_hosts}"
+            )
+    else:
+        net, hosts = multi_rack(
+            sim,
+            n_racks=cfg.n_racks,
+            hosts_per_rack=cfg.hosts_per_rack,
+            host_rate_bps=cfg.host_rate_bps,
+            core_rate_bps=cfg.core_rate_bps,
+            link_delay_ns=cfg.link_delay_ns,
+            switch_cfg=switch_cfg,
+        )
     tracker = CoflowTracker()
     specs: List[FlowSpec] = []
     for job in jobs:
@@ -146,19 +174,43 @@ def run_coflow_mode(
 
     noise = paper_noise() if cfg.with_noise else None
     rto = 100 * MICROSECOND if cfg.lossy else None
+    group_of = lambda s: groups[s.tag[1]]  # noqa: E731
+    deadline = cfg.duration_ns * 50
+    if streaming:
+        specs.sort(key=lambda s: s.start_ns)  # admitter contract
+        driver = None
+        admitter = FlowAdmitter(
+            sim,
+            net,
+            specs,
+            hosts,
+            factory,
+            group_of,
+            mtu=cfg.mtu,
+            noise=noise,
+            rto_ns=rto,
+            horizon_ns=admit_horizon_ns,
+            on_receive_done=tracker.on_flow_done,
+        )
+        if fluid:
+            from ..fluid import HybridDriver
+
+            driver = HybridDriver(sim, net, fluid_config)
+        run_admitter(sim, admitter, deadline, driver=driver)
+        return tracker.all_ccts()
     flows, _ = launch_specs(
         sim,
         net,
         specs,
         hosts,
         factory,
-        group_of=lambda s: groups[s.tag[1]],
+        group_of=group_of,
         mtu=cfg.mtu,
         noise=noise,
         rto_ns=rto,
         on_receive_done=tracker.on_flow_done,
     )
-    run_until_flows_done(sim, flows, cfg.duration_ns * 50)
+    run_until_flows_done(sim, flows, deadline)
     return tracker.all_ccts()
 
 

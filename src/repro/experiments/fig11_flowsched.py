@@ -47,9 +47,10 @@ def run_fig11(
 
 def fct_row(result: Dict[str, object], size_class: str = "all", metric: str = "mean_us") -> float:
     fct = result.get("fct", {})
-    if size_class not in fct:
-        return float("nan")
-    return fct[size_class][metric]
+    rec = fct.get(size_class)
+    if not rec or not rec.get("count"):
+        return float("nan")  # absent or n=0 group: no defined percentile
+    return rec[metric]
 
 
 class Fig11Experiment(Experiment):

@@ -15,12 +15,14 @@ import random
 from typing import Dict, List, Optional, Sequence
 
 from ..analysis.fct import percentile
+from ..analysis.streaming import StreamingStats
 from ..core import StartTier
 from ..noise import paper_noise
 from ..sim.engine import MILLISECOND, Simulator
 from ..topology import fat_tree
-from ..workloads import EmpiricalCdf, poisson_flows, websearch
-from .common import CCFactory, launch_specs, run_until_flows_done
+from ..workloads import EmpiricalCdf, poisson_flows, poisson_flows_iter, websearch
+from .common import (CCFactory, FlowAdmitter, launch_specs, run_admitter,
+                     run_until_flows_done)
 
 __all__ = ["FlowSchedConfig", "run_flowsched", "size_group_boundaries"]
 
@@ -96,6 +98,8 @@ def run_flowsched(
     topology=None,
     fluid: bool = False,
     fluid_config=None,
+    streaming: bool = False,
+    admit_horizon_ns: int = 1_000_000,
 ) -> Dict[str, object]:
     """One mode x one priority count; returns per-size-class FCT stats.
 
@@ -104,6 +108,15 @@ def run_flowsched(
     pass :func:`repro.topology.paper_fabric` here.  ``fluid=True`` attaches a
     :class:`repro.fluid.HybridDriver` (optionally configured by
     ``fluid_config``) and reports its regime statistics under ``"fluid"``.
+
+    ``streaming=True`` selects the long-trace path: the workload is pulled
+    lazily from :func:`poisson_flows_iter` (identical draws, never
+    materialized), senders are admitted in stages ``admit_horizon_ns`` ahead
+    of their start time (:class:`FlowAdmitter`), and per-group FCT stats are
+    reduced through bounded-memory P² sketches instead of lists.  The result
+    record has the same shape (percentiles are P² estimates; the record also
+    carries ``live_peak`` and ``streaming=True``); peak memory tracks the
+    *concurrent* flow population, so multi-second traces are first-class.
     """
     cfg = cfg or FlowSchedConfig()
     sim = Simulator(cfg.seed)
@@ -142,9 +155,6 @@ def run_flowsched(
             switch_cfg=switch_cfg,
         )
     rng = random.Random(cfg.seed)
-    specs = poisson_flows(
-        rng, len(hosts), cdf, cfg.load, cfg.rate_bps, cfg.duration_ns
-    )
 
     def group_of(spec) -> int:
         for g, b in enumerate(boundaries):
@@ -153,6 +163,52 @@ def run_flowsched(
         return n_priorities - 1
 
     noise = paper_noise() if cfg.with_noise else None
+    deadline = cfg.duration_ns * 40
+
+    if streaming:
+        spec_iter = poisson_flows_iter(
+            rng, len(hosts), cdf, cfg.load, cfg.rate_bps, cfg.duration_ns
+        )
+        acc = _StreamingFct(cfg.size_classes(), group_of)
+        admitter = FlowAdmitter(
+            sim,
+            net,
+            spec_iter,
+            hosts,
+            factory,
+            group_of,
+            mtu=cfg.mtu,
+            noise=noise,
+            rto_ns=cfg.rto_ns,
+            horizon_ns=admit_horizon_ns,
+            on_flow_done=acc.add,
+        )
+        driver = None
+        if fluid:
+            from ..fluid import HybridDriver
+
+            driver = HybridDriver(sim, net, fluid_config)
+        all_done = run_admitter(sim, admitter, deadline, driver=driver)
+        result: Dict[str, object] = {
+            "mode": mode,
+            "n_priorities": n_priorities,
+            "n_flows": admitter.n_admitted,
+            "n_done": admitter.n_done,
+            "all_done": all_done,
+            "drops": net.total_drops(),
+            "pfc_pauses": net.total_pfc_pauses(),
+            "streaming": True,
+            "live_peak": admitter.live_peak,
+        }
+        if driver is not None:
+            result["fluid"] = dict(driver.stats, events=sim.events_processed)
+        result["fct"] = acc.fct_section()
+        result["fct_by_group"] = acc.group_section(n_priorities)
+        return result
+
+    specs = poisson_flows(
+        rng, len(hosts), cdf, cfg.load, cfg.rate_bps, cfg.duration_ns
+    )
     flows, senders = launch_specs(
         sim, net, specs, hosts, factory, group_of, mtu=cfg.mtu, noise=noise, rto_ns=cfg.rto_ns
     )
@@ -161,11 +217,10 @@ def run_flowsched(
         from ..fluid import HybridDriver
 
         driver = HybridDriver(sim, net, fluid_config)
-    deadline = cfg.duration_ns * 40
     all_done = run_until_flows_done(sim, flows, deadline, driver=driver)
 
     done_flows = [f for f in flows if f.done]
-    result: Dict[str, object] = {
+    result = {
         "mode": mode,
         "n_priorities": n_priorities,
         "n_flows": len(flows),
@@ -182,14 +237,15 @@ def run_flowsched(
     result["fct"] = {"all": _stats(fcts_all)}
     for name, lo, hi in cfg.size_classes():
         vals = [f.fct_ns() for f in done_flows if lo <= f.size_bytes < hi]
-        if vals:
-            result["fct"][name] = _stats(vals)
-    # per-priority-group breakdown (Fig 14 uses this)
+        # empty size classes get the well-defined n=0 record, not a KeyError
+        result["fct"][name] = _stats(vals)
+    # per-priority-group breakdown (Fig 14 uses this); every group present,
+    # n=0 when a group completed nothing
     per_group: Dict[int, List[float]] = {}
     for f in done_flows:
         g = group_of(_SizeOnly(f.size_bytes))
         per_group.setdefault(g, []).append(f.fct_ns())
-    result["fct_by_group"] = {g: _stats(v) for g, v in per_group.items()}
+    result["fct_by_group"] = {g: _stats(per_group.get(g, [])) for g in range(n_priorities)}
     return result
 
 
@@ -200,7 +256,51 @@ class _SizeOnly:
         self.size_bytes = size_bytes
 
 
-def _stats(values: List[float]) -> Dict[str, float]:
+class _StreamingFct:
+    """Bounded-memory FCT accumulator fed one completion at a time.
+
+    Mirrors the list-path result sections (``fct`` / ``fct_by_group``) but
+    holds only O(size classes + priority groups) P² sketches, never the
+    per-flow samples.
+    """
+
+    def __init__(self, size_classes: Sequence, group_of):
+        self.all = StreamingStats()
+        self._classes = [(name, lo, hi, StreamingStats()) for name, lo, hi in size_classes]
+        self._groups: Dict[int, StreamingStats] = {}
+        self._group_of = group_of
+
+    def add(self, flow) -> None:
+        fct = flow.fct_ns()
+        self.all.add(fct)
+        for _name, lo, hi, st in self._classes:
+            if lo <= flow.size_bytes < hi:
+                st.add(fct)
+        g = self._group_of(_SizeOnly(flow.size_bytes))
+        self._groups.setdefault(g, StreamingStats()).add(fct)
+
+    def fct_section(self) -> Dict[str, Dict[str, object]]:
+        out = {"all": self.all.as_dict()}
+        for name, _lo, _hi, st in self._classes:
+            out[name] = st.as_dict()
+        return out
+
+    def group_section(self, n_groups: int) -> Dict[int, Dict[str, object]]:
+        empty = StreamingStats()
+        return {g: self._groups.get(g, empty).as_dict() for g in range(n_groups)}
+
+
+def _stats(values: List[float]) -> Dict[str, object]:
+    """The per-group FCT record; a well-defined form for empty groups.
+
+    An ``n == 0`` group (every flow of a size class unfinished at the
+    deadline, or a priority group the workload never hit) reports
+    ``count: 0`` with ``None`` metrics instead of raising
+    :class:`ZeroDivisionError` — the shape :class:`StreamingStats.as_dict`
+    also exports, so list and streaming reducers agree.
+    """
+    if not values:
+        return {"count": 0, "mean_us": None, "p50_us": None, "p99_us": None}
     return {
         "count": len(values),
         "mean_us": sum(values) / len(values) / 1e3,

@@ -50,6 +50,12 @@ _PACKET = "packet"
 _DRAIN = "drain"
 _FLUID = "fluid"
 
+#: per-flow ECMP path cache ceiling: a multi-second trace creates millions
+#: of flow ids, each a distinct cache key; past this the cache is cleared
+#: wholesale (completed flows are never looked up again, so the only cost
+#: is re-deriving the paths of currently-live flows at the next epoch)
+_PATH_CACHE_MAX = 65536
+
 
 class FluidConfig:
     """Tuning knobs for :class:`HybridDriver` (defaults are conservative)."""
@@ -165,6 +171,8 @@ class HybridDriver:
             "admitted_in_fluid": 0,
             "drain_failures": 0,
             "exit_reasons": {},
+            "handoff_fresh_starts": 0,
+            "path_cache_evictions": 0,
         }
         if getattr(sim, "fluid_driver", None) is not None:
             raise RuntimeError("simulator already has a fluid driver attached")
@@ -180,14 +188,24 @@ class HybridDriver:
 
     def run_until_flows_done(self, flows, hard_deadline_ns: int) -> bool:
         """Hybrid analogue of ``experiments.common.run_until_flows_done``."""
+        return self.run_until_done(lambda: all(f.done for f in flows), hard_deadline_ns)
+
+    def run_until_done(self, done, hard_deadline_ns: int) -> bool:
+        """Run until the ``done()`` predicate holds or the deadline passes.
+
+        The predicate form is what streaming workloads need: a
+        :class:`repro.experiments.common.FlowAdmitter` terminates on an O(1)
+        counter check instead of an O(total-flows) scan, which matters when
+        a multi-second trace admits millions of flows.
+        """
         sim = self.sim
         cfg = self.cfg
         while sim.now < hard_deadline_ns:
-            if all(f.done for f in flows):
+            if done():
                 break
             if self.phase == _PACKET:
                 sim.run(until=min(sim.now + cfg.check_every_ns, hard_deadline_ns))
-                if sim.now >= hard_deadline_ns or all(f.done for f in flows):
+                if sim.now >= hard_deadline_ns or done():
                     break
                 if self._quiescent():
                     self._try_enter_fluid()
@@ -195,7 +213,7 @@ class HybridDriver:
                 self._fluid_run(min(sim.now + cfg.check_every_ns, hard_deadline_ns))
         if self.phase != _PACKET:
             self._exit_fluid("deadline")
-        return all(f.done for f in flows)
+        return done()
 
     def run(self, until: int) -> None:
         """Advance the hybrid simulation to ``until`` (no flow-set to watch)."""
@@ -278,10 +296,10 @@ class HybridDriver:
                 self.phase = _PACKET
                 for s in held:
                     if not s.completed:
-                        s.fluid_release()
+                        self._release_or_start(s)
                 for s in self._pending_admits:
                     if not s.completed:
-                        s.fluid_release()
+                        self._release_or_start(s)
                 self._pending_admits = []
                 self._held = []
                 self.stats["drain_failures"] += 1
@@ -305,6 +323,9 @@ class HybridDriver:
         key = (flow.src.node_id, flow.dst.node_id, flow.flow_id)
         links = self._path_cache.get(key)
         if links is None:
+            if len(self._path_cache) >= _PATH_CACHE_MAX:
+                self._path_cache.clear()
+                self.stats["path_cache_evictions"] += 1
             # the flow's exact ECMP forward data path — flows that hash onto
             # disjoint core links must not share fluid capacity (the reverse
             # path only carries 64 B ACKs and is ignored)
@@ -524,6 +545,23 @@ class HybridDriver:
     # ------------------------------------------------------------------
     # handoff back to packets
     # ------------------------------------------------------------------
+    def _release_or_start(self, s) -> None:
+        """Hand one sender back to the packet regime.
+
+        A sender admitted during the epoch that never moved a byte (no
+        packet-path transmission, no fluid credit) must run the *real*
+        packet-mode start path — ``cc.on_start`` performs scheme start
+        logic (PrioPlus probe / linear-start tier selection, initial
+        window) that ``fluid_release`` deliberately does not.
+        """
+        if s.flow.first_tx_ns is None and s.acked_payload == 0:
+            s.fluid_held = False
+            s.cc.on_start()
+            s.try_send()
+            self.stats["handoff_fresh_starts"] += 1
+        else:
+            s.fluid_release()
+
     def _exit_fluid(self, reason: str) -> None:
         sim = self.sim
         now = sim.now
@@ -536,6 +574,10 @@ class HybridDriver:
             for f in self._flows:
                 s = f.sender
                 if s.completed:
+                    continue
+                if s.flow.first_tx_ns is None and s.acked_payload == 0:
+                    # fresh flow: restarted via the packet start path below,
+                    # its fluid window was never real — don't sync it back
                     continue
                 cwnd_out = f.cwnd
                 if f.rate < f.cap * 0.999:
@@ -554,7 +596,7 @@ class HybridDriver:
         reasons[reason] = reasons.get(reason, 0) + 1
         for s in survivors:
             if not s.completed:
-                s.fluid_release()
+                self._release_or_start(s)
         tel = sim.telemetry
         if tel.enabled:
             tel.regime(now, "packet", reason, len(survivors))

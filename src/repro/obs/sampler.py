@@ -94,6 +94,9 @@ class TimeSeriesSampler:
         self.flows = _Ring(capacity)
         self.regimes = _Ring(capacity)
         self.samples_taken = 0
+        #: completed senders released after their final "done" row (keeps
+        #: per-flow state bounded by *concurrent* flows on long traces)
+        self.flows_pruned = 0
         self._ports: List[object] = []
         self._buffers: List[object] = []
         self._senders: List[object] = []
@@ -147,6 +150,7 @@ class TimeSeriesSampler:
                 "headroom_used": buf.headroom_used,
             })
         dt = None if self._last_t is None else boundary - self._last_t
+        live: List[object] = []
         for sender in self._senders:
             fid = sender.flow.flow_id
             acked = sender.acked_payload
@@ -154,7 +158,6 @@ class TimeSeriesSampler:
             rate_bps = 0.0
             if dt:
                 rate_bps = (acked - prev) * 8e9 / dt
-            self._last_acked[fid] = acked
             cc = sender.cc
             if sender.completed:
                 state = "done"
@@ -171,6 +174,16 @@ class TimeSeriesSampler:
                 "cwnd": getattr(cc, "cwnd", 0.0),
                 "delay_ns": sender.last_rtt,
             })
+            if state == "done":
+                # the row just emitted is this flow's terminal row: release
+                # the sender so tracked state scales with concurrent flows,
+                # not the total flow count of a multi-second trace
+                self._last_acked.pop(fid, None)
+                self.flows_pruned += 1
+            else:
+                self._last_acked[fid] = acked
+                live.append(sender)
+        self._senders = live
         self._last_t = boundary
         return boundary + self.stride_ns
 
@@ -202,6 +215,7 @@ class TimeSeriesSampler:
                 + self.flows.dropped + self.regimes.dropped
             ),
             "flow_rows": len(self.flows),
+            "flows_pruned": self.flows_pruned,
             "port_rows": len(self.ports),
             "regime_rows": len(self.regimes),
             "samples_taken": self.samples_taken,

@@ -1,0 +1,179 @@
+"""``python -m repro bench --longtrace``: multi-second paper-scale smoke.
+
+One scenario: a multi-second WebSearch trace with paper-true (unscaled)
+flow sizes on the full 320-host :func:`repro.topology.paper_fabric`, run
+through the long-trace pipeline end to end — streaming workload generation
+(:func:`repro.workloads.poisson_flows_iter`), staged sender admission
+(:class:`repro.experiments.common.FlowAdmitter`), bounded-memory P² result
+reduction, and the hybrid fluid/packet core.
+
+Two gates, both about *sustainability* rather than speed:
+
+``rss`` (bounded memory)
+    Peak RSS growth of the process across the run must stay under
+    ``RSS_CEILING_MB``.  An eager workload path, an unpruned endpoint map,
+    or an unbounded result list all scale with the *total* flow count and
+    blow through this; the streaming path scales with the concurrent flow
+    population (``live_peak``, also reported) and does not.
+
+``liveness`` (long-run hardening)
+    The run must complete every admitted flow (``all_done``) and the hybrid
+    core must report zero drain failures and at least
+    ``MIN_REGIME_SWITCHES`` packet→fluid transitions — a multi-second run
+    that silently stopped switching regimes would be a packet-mode crawl
+    that only *looks* healthy on a short trace.
+
+CLI::
+
+    python -m repro bench --longtrace --out BENCH_longtrace.json   # full (2s)
+    python -m repro bench --longtrace --quick                      # CI (0.5s)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import resource
+import sys
+import time
+from typing import Dict, List
+
+__all__ = [
+    "BENCH_LONGTRACE_SCHEMA",
+    "MIN_REGIME_SWITCHES",
+    "RSS_CEILING_MB",
+    "check_longtrace",
+    "run_longtrace_bench",
+    "write_longtrace_bench",
+]
+
+BENCH_LONGTRACE_SCHEMA = "repro-bench-longtrace/1"
+
+#: ceiling on peak-RSS *growth* across the run (MB).  The 2 s / 320-host
+#: point holds ~25 concurrent flows and measures ~15 MB of growth; a path
+#: that materializes the full trace (~14k senders at full length) measures
+#: hundreds.  The ceiling is deliberately loose against interpreter noise
+#: and deliberately far below the eager-path footprint.
+RSS_CEILING_MB = 150.0
+
+#: a healthy multi-second run re-enters fluid mode many times; fewer
+#: switches than this means the hybrid core got stuck in one regime
+MIN_REGIME_SWITCHES = 10
+
+#: the long-trace flowsched config (see PAPER_LONG_CFG for the load
+#: rationale: paper-true sizes, paper fabric, arrival rate traded for
+#: duration so the run fits the CI smoke budget)
+_FULL_DURATION_NS = 2_000_000_000
+_QUICK_DURATION_NS = 500_000_000
+
+
+def _rss_mb() -> float:
+    """Peak RSS of this process so far, in MB (ru_maxrss is KB on Linux)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def run_longtrace_bench(quick: bool = False) -> dict:
+    """Run the long-trace point and gate it; returns the JSON-safe snapshot."""
+    from ..experiments.common import Mode
+    from ..experiments.flowsched import FlowSchedConfig
+    from ..experiments.paper_scale import PAPER_LONG_CFG, run_paper_scale
+
+    cfg_kwargs: Dict[str, object] = dict(
+        PAPER_LONG_CFG,
+        duration_ns=_QUICK_DURATION_NS if quick else _FULL_DURATION_NS,
+    )
+    cfg = FlowSchedConfig(**cfg_kwargs)
+
+    rss_before = _rss_mb()
+    t0 = time.perf_counter()
+    result = run_paper_scale(Mode.PRIOPLUS, 8, cfg, streaming=True)
+    wall_s = time.perf_counter() - t0
+    rss_after = _rss_mb()
+    rss_growth = rss_after - rss_before
+
+    fluid = result.get("fluid", {})
+    switches = int(fluid.get("fluid_epochs", 0))
+    n_flows = int(result["n_flows"])
+    sim_s = cfg_kwargs["duration_ns"] / 1e9
+
+    return {
+        "schema": BENCH_LONGTRACE_SCHEMA,
+        "quick": quick,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "unix_s": time.time(),
+        "config": cfg_kwargs,
+        "run": {
+            "wall_s": round(wall_s, 2),
+            "sim_s": sim_s,
+            "n_hosts": result["n_hosts"],
+            "n_flows": n_flows,
+            "n_done": result["n_done"],
+            "all_done": result["all_done"],
+            "live_peak": result["live_peak"],
+            "flows_per_sim_s": round(n_flows / sim_s, 1) if sim_s else None,
+            "events": fluid.get("events"),
+            "fct_all": result.get("fct", {}).get("all"),
+            "fluid": {
+                k: fluid.get(k)
+                for k in (
+                    "fluid_epochs",
+                    "fluid_ns",
+                    "fluid_completions",
+                    "admitted_in_fluid",
+                    "drain_failures",
+                    "handoff_fresh_starts",
+                    "path_cache_evictions",
+                )
+            },
+        },
+        "memory": {
+            "rss_before_mb": round(rss_before, 1),
+            "rss_peak_mb": round(rss_after, 1),
+            "rss_growth_mb": round(rss_growth, 1),
+            "ceiling_mb": RSS_CEILING_MB,
+            "pass": rss_growth <= RSS_CEILING_MB,
+        },
+        "liveness": {
+            "all_done": bool(result["all_done"]),
+            "regime_switches": switches,
+            "min_regime_switches": MIN_REGIME_SWITCHES,
+            "drain_failures": int(fluid.get("drain_failures", 0)),
+            "pass": (
+                bool(result["all_done"])
+                and switches >= MIN_REGIME_SWITCHES
+                and int(fluid.get("drain_failures", 0)) == 0
+            ),
+        },
+    }
+
+
+def write_longtrace_bench(snapshot: dict, path: str = "BENCH_longtrace.json") -> str:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(snapshot, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote long-trace bench snapshot to {path}", file=sys.stderr)
+    return path
+
+
+def check_longtrace(snapshot: dict) -> List[str]:
+    """Gate helper: list of failures (empty = the long-trace point is healthy)."""
+    failures: List[str] = []
+    mem = snapshot["memory"]
+    if not mem["pass"]:
+        failures.append(
+            f"peak RSS grew {mem['rss_growth_mb']} MB, over the "
+            f"{mem['ceiling_mb']} MB ceiling (is a long-trace path "
+            f"materializing the whole workload?)"
+        )
+    live = snapshot["liveness"]
+    if not live["pass"]:
+        failures.append(
+            f"long-run liveness: all_done={live['all_done']}, "
+            f"{live['regime_switches']} regime switches "
+            f"(need >= {live['min_regime_switches']}), "
+            f"{live['drain_failures']} drain failures"
+        )
+    return failures

@@ -157,7 +157,7 @@ def _eval_flowsched(spec: dict, channels: ChannelConfig, scale: dict) -> dict:
     )
     res = run_flowsched(Mode.PRIOPLUS, spec["n_priorities"], cfg)
     fct = res.get("fct", {}).get("all")
-    if not fct:
+    if not fct or not fct["count"]:
         return {"utility": float("-inf"), "metrics": {"n_done": res.get("n_done", 0)}}
     return {
         "utility": -fct["mean_us"],

@@ -3,7 +3,8 @@
 from .coflow_trace import CoflowSpec, synthesize_coflows
 from .distributions import (ALI_STORAGE_CDF, HADOOP_CDF, WEBSEARCH_CDF,
                             EmpiricalCdf, ali_storage, hadoop, websearch)
-from .generators import FlowSpec, file_requests, incast_flows, poisson_flows
+from .generators import (FlowSpec, file_requests, file_requests_iter,
+                         incast_flows, poisson_flows, poisson_flows_iter)
 from .trace_io import TraceFormatError, load_trace, save_trace
 
 __all__ = [
@@ -16,8 +17,10 @@ __all__ = [
     "ALI_STORAGE_CDF",
     "FlowSpec",
     "poisson_flows",
+    "poisson_flows_iter",
     "incast_flows",
     "file_requests",
+    "file_requests_iter",
     "CoflowSpec",
     "synthesize_coflows",
     "load_trace",

@@ -1,20 +1,38 @@
 """Flow-arrival generators: Poisson open-loop traffic, incast, file requests.
 
-All generators return lists of :class:`~repro.transport.flow.Flow`-ready
-specs (src, dst, size, start time); the experiment layer turns them into
-senders with the CC under test.  They draw from a caller-provided
-``random.Random`` so experiments are reproducible and baselines see the
-*identical* workload.
+Every generator exists in two shapes sharing one draw sequence:
+
+* an **iterator** variant (``poisson_flows_iter``, ``file_requests_iter``)
+  that lazily yields :class:`FlowSpec` objects **in non-decreasing
+  ``start_ns`` order** — the *streaming-generator contract* the experiment
+  layer's staged admission (:class:`repro.experiments.common.FlowAdmitter`)
+  relies on.  Memory stays bounded by the live window, not the trace
+  length, which is what makes multi-second paper-scale traces feasible
+  (millions of arrivals never exist as objects simultaneously);
+* the historical **list** API (``poisson_flows``, ``file_requests``),
+  now a thin ``list(...)`` over the iterator so both paths are
+  byte-identical on identical seeds (pinned by
+  ``tests/test_workloads.py::test_poisson_stream_list_identical``).
+
+All generators draw from a caller-provided ``random.Random`` so experiments
+are reproducible and baselines see the *identical* workload.
 """
 
 from __future__ import annotations
 
 import random
-from typing import List
+from typing import Iterator, List
 
 from .distributions import EmpiricalCdf
 
-__all__ = ["FlowSpec", "poisson_flows", "incast_flows", "file_requests"]
+__all__ = [
+    "FlowSpec",
+    "poisson_flows",
+    "poisson_flows_iter",
+    "incast_flows",
+    "file_requests",
+    "file_requests_iter",
+]
 
 
 class FlowSpec:
@@ -33,6 +51,49 @@ class FlowSpec:
         return f"FlowSpec({self.src_idx}->{self.dst_idx}, {self.size_bytes}B @ {self.start_ns}ns)"
 
 
+def poisson_flows_iter(
+    rng: random.Random,
+    n_hosts: int,
+    cdf: EmpiricalCdf,
+    load: float,
+    host_rate_bps: float,
+    duration_ns: int,
+    start_ns: int = 0,
+) -> Iterator[FlowSpec]:
+    """Open-loop Poisson arrivals, yielded one at a time in start-time order.
+
+    Each flow picks a uniform random (src, dst) host pair (src != dst); the
+    arrival rate is ``load * n_hosts * host_rate / mean_flow_size`` across
+    the cluster, the standard ns-3 traffic-generator construction.  Arrival
+    times are strictly increasing in the exponential inter-arrival draw, so
+    the stream satisfies the sorted-by-``start_ns`` contract by
+    construction.  O(1) memory regardless of ``duration_ns``.
+    """
+    if not 0 < load < 1:
+        raise ValueError("load must be in (0, 1)")
+    if n_hosts < 2:
+        raise ValueError("need at least two hosts")
+    mean_size_bits = cdf.mean() * 8
+    lam_per_ns = load * n_hosts * host_rate_bps / mean_size_bits / 1e9  # arrivals per ns
+
+    def generate() -> Iterator[FlowSpec]:
+        t = float(start_ns)
+        end = start_ns + duration_ns
+        while True:
+            t += rng.expovariate(lam_per_ns)
+            if t >= end:
+                return
+            src = rng.randrange(n_hosts)
+            dst = rng.randrange(n_hosts - 1)
+            if dst >= src:
+                dst += 1
+            yield FlowSpec(src, dst, max(1, cdf.sample(rng)), int(t))
+
+    # validate eagerly (above), generate lazily: callers get argument errors
+    # at call time, not at the first next()
+    return generate()
+
+
 def poisson_flows(
     rng: random.Random,
     n_hosts: int,
@@ -42,31 +103,14 @@ def poisson_flows(
     duration_ns: int,
     start_ns: int = 0,
 ) -> List[FlowSpec]:
-    """Open-loop Poisson arrivals targeting ``load`` of aggregate host capacity.
+    """List form of :func:`poisson_flows_iter` (identical draw sequence).
 
-    Each flow picks a uniform random (src, dst) host pair (src != dst); the
-    arrival rate is ``load * n_hosts * host_rate / mean_flow_size`` across
-    the cluster, the standard ns-3 traffic-generator construction.
+    Prefer the iterator for long traces: this materializes the whole trace
+    (millions of specs for multi-second paper-scale durations) up front.
     """
-    if not 0 < load < 1:
-        raise ValueError("load must be in (0, 1)")
-    if n_hosts < 2:
-        raise ValueError("need at least two hosts")
-    mean_size_bits = cdf.mean() * 8
-    lam_per_ns = load * n_hosts * host_rate_bps / mean_size_bits / 1e9  # arrivals per ns
-    flows: List[FlowSpec] = []
-    t = float(start_ns)
-    end = start_ns + duration_ns
-    while True:
-        t += rng.expovariate(lam_per_ns)
-        if t >= end:
-            break
-        src = rng.randrange(n_hosts)
-        dst = rng.randrange(n_hosts - 1)
-        if dst >= src:
-            dst += 1
-        flows.append(FlowSpec(src, dst, max(1, cdf.sample(rng)), int(t)))
-    return flows
+    return list(
+        poisson_flows_iter(rng, n_hosts, cdf, load, host_rate_bps, duration_ns, start_ns)
+    )
 
 
 def incast_flows(
@@ -82,6 +126,46 @@ def incast_flows(
     ]
 
 
+def file_requests_iter(
+    rng: random.Random,
+    n_hosts: int,
+    n_requests: int,
+    fanout: int,
+    piece_bytes: int,
+    duration_ns: int,
+    start_ns: int = 0,
+) -> Iterator[FlowSpec]:
+    """The coflow scenario's file-request traffic (§6.2), in start-time order.
+
+    Each request picks ``fanout`` random source nodes that each send one
+    piece to a random destination node — the classic distributed-storage
+    read / incast pattern.
+
+    The RNG draw order is per-request (time, destination, sources), exactly
+    as the historical list API, so seeds produce the identical traffic; the
+    requests are then *yielded* sorted by arrival time (stable in request
+    order) to satisfy the streaming contract.  Memory is O(n_requests)
+    compact request tuples; the ``fanout`` :class:`FlowSpec` objects per
+    request are only created as the stream is consumed.
+    """
+    if fanout >= n_hosts:
+        raise ValueError("fanout must be smaller than the host count")
+    requests = []
+    for r in range(n_requests):
+        t = start_ns + rng.randrange(max(1, duration_ns))
+        dst = rng.randrange(n_hosts)
+        sources = rng.sample([h for h in range(n_hosts) if h != dst], fanout)
+        requests.append((t, r, dst, sources))
+    requests.sort(key=lambda req: (req[0], req[1]))
+
+    def generate() -> Iterator[FlowSpec]:
+        for t, r, dst, sources in requests:
+            for s in sources:
+                yield FlowSpec(s, dst, piece_bytes, t, tag=("file", r))
+
+    return generate()
+
+
 def file_requests(
     rng: random.Random,
     n_hosts: int,
@@ -91,19 +175,13 @@ def file_requests(
     duration_ns: int,
     start_ns: int = 0,
 ) -> List[FlowSpec]:
-    """The coflow scenario's file-request traffic (§6.2).
+    """List form of :func:`file_requests_iter` (identical draw sequence).
 
-    Each request picks ``fanout`` random source nodes that each send one
-    piece to a random destination node — the classic distributed-storage
-    read / incast pattern.
+    Flows are returned sorted by ``start_ns`` (stable in request order).
+    Historically this returned request-loop order — unsorted in time — so
+    admission order depended on the request permutation; sorted output makes
+    admission deterministic and matches the streaming-generator contract.
     """
-    if fanout >= n_hosts:
-        raise ValueError("fanout must be smaller than the host count")
-    flows: List[FlowSpec] = []
-    for r in range(n_requests):
-        t = start_ns + rng.randrange(max(1, duration_ns))
-        dst = rng.randrange(n_hosts)
-        sources = rng.sample([h for h in range(n_hosts) if h != dst], fanout)
-        for s in sources:
-            flows.append(FlowSpec(s, dst, piece_bytes, t, tag=("file", r)))
-    return flows
+    return list(
+        file_requests_iter(rng, n_hosts, n_requests, fanout, piece_bytes, duration_ns, start_ns)
+    )

@@ -139,3 +139,75 @@ def test_fig2_data_sane():
     newest = ratios[-1][2]
     oldest = ratios[0][2]
     assert newest < oldest
+
+
+# ----------------------------------------------------------------------
+# streaming statistics (P² sketches) — the long-trace result reducers
+# ----------------------------------------------------------------------
+def test_p2_rejects_bad_quantile():
+    from repro.analysis import P2Quantile
+
+    for p in (0.0, 1.0, -0.1, 2.0):
+        with pytest.raises(ValueError):
+            P2Quantile(p)
+
+
+def test_p2_exact_for_tiny_samples():
+    from repro.analysis import P2Quantile
+
+    q = P2Quantile(0.5)
+    assert q.value() is None
+    q.add(10.0)
+    assert q.value() == 10.0
+    q.add(20.0)
+    q.add(30.0)
+    # median of [10, 20, 30] is exact while the markers still hold raw samples
+    assert q.value() == pytest.approx(20.0)
+
+
+def test_p2_accuracy_on_heavy_tail():
+    """P² p50/p99 land within a few percent of the exact sample percentile
+    on a WebSearch-like heavy-tailed population (the accuracy envelope the
+    long-trace experiment tables rely on)."""
+    import random as _random
+
+    from repro.analysis import P2Quantile, percentile
+
+    rng = _random.Random(42)
+    xs = [rng.paretovariate(1.3) * 1000 for _ in range(20_000)]
+    p50, p99 = P2Quantile(0.5), P2Quantile(0.99)
+    for x in xs:
+        p50.add(x)
+        p99.add(x)
+    assert p50.value() == pytest.approx(percentile(xs, 50), rel=0.05)
+    assert p99.value() == pytest.approx(percentile(xs, 99), rel=0.10)
+
+
+def test_streaming_stats_matches_list_stats_shape():
+    from repro.analysis import StreamingStats
+    from repro.experiments.flowsched import _stats
+
+    values = [1_000.0 * i for i in range(1, 301)]
+    st = StreamingStats()
+    for v in values:
+        st.add(v)
+    exact = _stats(values)
+    approx = st.as_dict()
+    assert set(approx) == set(exact) == {"count", "mean_us", "p50_us", "p99_us"}
+    assert approx["count"] == exact["count"] == 300
+    assert approx["mean_us"] == pytest.approx(exact["mean_us"], rel=1e-12)
+    assert approx["p50_us"] == pytest.approx(exact["p50_us"], rel=0.05)
+    assert approx["p99_us"] == pytest.approx(exact["p99_us"], rel=0.05)
+    assert st.min == 1_000.0 and st.max == 300_000.0
+
+
+def test_streaming_stats_empty_record():
+    """n=0 exports the canonical empty record — same shape `_stats([])` now
+    returns instead of raising ZeroDivisionError (the empty-group bugfix)."""
+    from repro.analysis import StreamingStats
+    from repro.experiments.flowsched import _stats
+
+    empty = StreamingStats().as_dict()
+    assert empty == {"count": 0, "mean_us": None, "p50_us": None, "p99_us": None}
+    assert _stats([]) == empty
+    assert StreamingStats().mean is None

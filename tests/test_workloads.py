@@ -10,11 +10,17 @@ from repro.workloads import (
     WEBSEARCH_CDF,
     EmpiricalCdf,
     file_requests,
+    file_requests_iter,
     incast_flows,
     poisson_flows,
+    poisson_flows_iter,
     synthesize_coflows,
     websearch,
 )
+
+
+def _spec_tuple(s):
+    return (s.src_idx, s.dst_idx, s.size_bytes, s.start_ns, s.tag)
 
 
 def test_websearch_cdf_valid():
@@ -99,6 +105,46 @@ def test_poisson_rejects_bad_inputs():
         poisson_flows(rng, 8, websearch(), 0.0, 10e9, 1000)
     with pytest.raises(ValueError):
         poisson_flows(rng, 1, websearch(), 0.5, 10e9, 1000)
+    with pytest.raises(ValueError):
+        poisson_flows(rng, 8, websearch(), 1.0, 10e9, 1000)  # load upper bound
+    # iterator variants validate eagerly too, not on first next()
+    with pytest.raises(ValueError):
+        poisson_flows_iter(random.Random(5), 8, websearch(), 0.0, 10e9, 1000)
+
+
+def test_poisson_stream_list_identical():
+    """The streaming and list workload paths are byte-identical on a seed."""
+    kw = dict(n_hosts=16, cdf=websearch(0.1), load=0.4, host_rate_bps=10e9,
+              duration_ns=20_000_000)
+    specs = poisson_flows(random.Random(42), **kw)
+    streamed = list(poisson_flows_iter(random.Random(42), **kw))
+    assert len(specs) > 100
+    assert [_spec_tuple(s) for s in specs] == [_spec_tuple(s) for s in streamed]
+
+
+def test_poisson_iter_sorted_and_lazy():
+    """The iterator yields in start-time order without materializing the trace."""
+    it = poisson_flows_iter(
+        random.Random(9), 320, websearch(1.0), 0.5, 100e9, 10**12
+    )  # ~17M arrivals if realized: must never be materialized
+    head = [next(it) for _ in range(5000)]
+    starts = [s.start_ns for s in head]
+    assert starts == sorted(starts)
+    assert all(s.size_bytes >= 1 for s in head)
+
+
+def test_poisson_zero_and_one_arrival_durations():
+    # a duration too short for any arrival is a valid empty workload
+    assert poisson_flows(random.Random(0), 4, websearch(0.1), 0.5, 10e9, 1) == []
+    assert list(poisson_flows_iter(random.Random(0), 4, websearch(0.1), 0.5, 10e9, 1)) == []
+    # find a duration producing exactly one arrival; list and iter agree on it
+    rng_probe = random.Random(1)
+    first_gap = rng_probe.expovariate(1.0)  # just exercises rng independence
+    assert first_gap > 0
+    duration = 200_000
+    specs = poisson_flows(random.Random(1), 4, websearch(0.1), 0.1, 1e9, duration)
+    streamed = list(poisson_flows_iter(random.Random(1), 4, websearch(0.1), 0.1, 1e9, duration))
+    assert [_spec_tuple(s) for s in specs] == [_spec_tuple(s) for s in streamed]
 
 
 # ----------------------------------------------------------------------
@@ -127,6 +173,58 @@ def test_file_requests_fanout_and_no_self():
 def test_file_requests_fanout_too_large():
     with pytest.raises(ValueError):
         file_requests(random.Random(), 4, 1, fanout=4, piece_bytes=10, duration_ns=10)
+    with pytest.raises(ValueError):
+        file_requests_iter(random.Random(), 4, 1, fanout=4, piece_bytes=10, duration_ns=10)
+
+
+def test_file_requests_sorted_by_start():
+    """Flows come back in arrival order (the streaming-admission contract)."""
+    rng = random.Random(6)
+    specs = file_requests(rng, 10, n_requests=40, fanout=3, piece_bytes=1000,
+                          duration_ns=100_000)
+    starts = [s.start_ns for s in specs]
+    assert starts == sorted(starts)
+    # ties between requests keep request order (stable sort): pieces of one
+    # request stay contiguous
+    seen = []
+    for s in specs:
+        if not seen or seen[-1] != s.tag:
+            seen.append(s.tag)
+    assert len(seen) == 40  # no request's pieces are interleaved with another's
+
+
+def test_file_requests_same_traffic_as_unsorted_draws():
+    """Sorting changed the order, not the traffic: the (src, dst, size, t,
+    tag) multiset is exactly what the historical per-request draw loop
+    produced from the same seed."""
+    kw = dict(n_hosts=12, n_requests=25, fanout=4, piece_bytes=777, duration_ns=50_000)
+    specs = file_requests(random.Random(123), **kw)
+
+    # the historical draw loop, reproduced verbatim
+    rng = random.Random(123)
+    legacy = []
+    for r in range(kw["n_requests"]):
+        t = rng.randrange(max(1, kw["duration_ns"]))
+        dst = rng.randrange(kw["n_hosts"])
+        sources = rng.sample([h for h in range(kw["n_hosts"]) if h != dst], kw["fanout"])
+        for s in sources:
+            legacy.append((s, dst, kw["piece_bytes"], t, ("file", r)))
+    assert sorted(_spec_tuple(s) for s in specs) == sorted(legacy)
+
+
+def test_file_requests_stream_list_identical():
+    kw = dict(n_hosts=10, n_requests=15, fanout=3, piece_bytes=500, duration_ns=10_000)
+    specs = file_requests(random.Random(77), **kw)
+    streamed = list(file_requests_iter(random.Random(77), **kw))
+    assert [_spec_tuple(s) for s in specs] == [_spec_tuple(s) for s in streamed]
+
+
+def test_incast_placeholder_dst():
+    # dst_idx=-1 is the "receiver chosen later" placeholder; specs must carry
+    # it through untouched so scenario code can rebind it
+    specs = incast_flows(4, 1000)
+    assert all(s.dst_idx == -1 for s in specs)
+    assert sorted(s.src_idx for s in specs) == [0, 1, 2, 3]
 
 
 # ----------------------------------------------------------------------
